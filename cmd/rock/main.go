@@ -1,0 +1,84 @@
+// Command rock analyzes a serialized binary image and reports the
+// reconstructed class hierarchy.
+//
+// Usage:
+//
+//	rock [-metric kl|js-divergence|js-distance] [-depth D] [-window W]
+//	     [-structural-only] [-v] image.rbin
+//
+// The input is an image produced by this repository's compiler (see
+// cmd/rockbench -emit or the examples). If the image carries ground-truth
+// metadata, it is stripped before analysis and used only to print names.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/rock"
+)
+
+func main() {
+	metric := flag.String("metric", "kl", "pairwise distance: kl, js-divergence, js-distance")
+	depth := flag.Int("depth", 2, "SLM maximum order D")
+	window := flag.Int("window", 7, "object tracelet window length")
+	structuralOnly := flag.Bool("structural-only", false, "skip the behavioral analysis (type families and possible parents only)")
+	verbose := flag.Bool("v", false, "print families and candidate parents")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rock [flags] image.rbin")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := rock.Analyze(data, rock.Options{
+		Metric:         *metric,
+		SLMDepth:       *depth,
+		Window:         *window,
+		StructuralOnly: *structuralOnly,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("binary types: %d, families: %d, structurally resolvable: %v\n",
+		len(rep.Types), len(rep.Families), rep.StructurallyResolved)
+	if *verbose {
+		for i, fam := range rep.Families {
+			fmt.Printf("family %d:\n", i)
+			for _, t := range fam {
+				var cands []string
+				for _, p := range rep.PossibleParents[t] {
+					cands = append(cands, rep.Name(p))
+				}
+				sort.Strings(cands)
+				fmt.Printf("  %-32s candidates: %v\n", rep.Name(t), cands)
+			}
+		}
+	}
+	if *structuralOnly {
+		return
+	}
+	fmt.Println("\nreconstructed hierarchy:")
+	fmt.Print(rep.HierarchyString())
+	if len(rep.MultiParents) > 0 {
+		fmt.Println("multiple-inheritance types:")
+		for t, ps := range rep.MultiParents {
+			fmt.Printf("  %s parents:", rep.Name(t))
+			for _, p := range ps {
+				fmt.Printf(" %s", rep.Name(p))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rock:", err)
+	os.Exit(1)
+}

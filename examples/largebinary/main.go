@@ -1,0 +1,53 @@
+// Largebinary: the Skype-style scalability demonstration (§3.2, §6.1). A
+// seeded generator produces a program with hundreds of types across many
+// independent hierarchies; the whole pipeline — disassembly, vtable
+// discovery, tracelet extraction, SLM training, per-family arborescences —
+// runs in seconds because every analysis is intra-procedural.
+//
+//	go run ./examples/largebinary [-families N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/synth"
+
+	"repro/rock"
+)
+
+func main() {
+	families := flag.Int("families", 60, "number of independent class hierarchies")
+	flag.Parse()
+
+	params := synth.DefaultParams(2018)
+	params.Families = *families
+	prog, parents := synth.Generate(params)
+	img, err := compiler.Compile(prog, compiler.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stripped := img.Strip()
+	data, err := stripped.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated program: %d classes (%d hierarchy edges), image %d KB\n",
+		len(prog.Classes), len(parents), len(data)/1024)
+
+	start := time.Now()
+	rep, err := rock.Analyze(data, rock.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	edges := len(rep.Edges)
+	fmt.Printf("analysis: %d binary types, %d families, %d parent edges in %s\n",
+		len(rep.Types), len(rep.Families), edges, elapsed.Round(time.Millisecond))
+	fmt.Printf("(the paper reports at most 2 hours per benchmark on its framework; the\n")
+	fmt.Printf(" analysis here is the same per-procedure work on a synthetic substrate)\n")
+}

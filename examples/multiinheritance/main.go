@@ -1,0 +1,56 @@
+// Multiinheritance: §5.3. FaxMachine derives from both Modem and Printer;
+// its instances receive two vtable-pointer installs (primary subobject at
+// offset 0, secondary Printer subobject after it). Rock observes the
+// install count and assigns the type as many parents.
+//
+//	go run ./examples/multiinheritance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/compiler"
+
+	"repro/rock"
+)
+
+func main() {
+	img, err := compiler.Compile(bench.MultipleInheritance(), compiler.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := img.Marshal()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := rock.Analyze(data, rock.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("discovered %d binary types (including the secondary subobject vtable)\n", len(rep.Types))
+	for _, t := range rep.Types {
+		kind := ""
+		if t.Secondary {
+			kind = "  [secondary subobject table]"
+		}
+		fmt.Printf("  %-24s %d slots%s\n", rep.Name(t.VTable), t.Slots, kind)
+	}
+
+	fmt.Println("\nreconstructed primary hierarchy:")
+	fmt.Print(rep.HierarchyString())
+
+	fmt.Println("multiple-inheritance parent sets (§5.3):")
+	if len(rep.MultiParents) == 0 {
+		fmt.Println("  (none detected)")
+	}
+	for t, ps := range rep.MultiParents {
+		fmt.Printf("  %s:", rep.Name(t))
+		for _, p := range ps {
+			fmt.Printf(" %s", rep.Name(p))
+		}
+		fmt.Println()
+	}
+}

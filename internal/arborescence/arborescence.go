@@ -1,0 +1,414 @@
+// Package arborescence solves the minimum-weight spanning arborescence
+// problem of §4.2.2: given a directed weighted graph and a root, find the
+// subset of edges forming a tree rooted at the root that reaches every node
+// with minimum total weight (Chu–Liu/Edmonds' algorithm [15]).
+//
+// The package also enumerates co-optimal arborescences and implements the
+// paper's majority-vote heuristic for reducing them ("Handling Multiple
+// Arborescences").
+package arborescence
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Edge is a directed weighted edge From -> To. Weights must be
+// non-negative.
+type Edge struct {
+	From, To int
+	W        float64
+}
+
+// MinArborescence computes a minimum-weight spanning arborescence of the
+// graph with n nodes (0..n-1) rooted at root. It returns parent[v] for
+// every node (parent[root] = -1) and the total weight. It fails if some
+// node is unreachable from the root.
+func MinArborescence(n, root int, edges []Edge) (parents []int, weight float64, err error) {
+	if root < 0 || root >= n {
+		return nil, 0, fmt.Errorf("arborescence: root %d out of range [0,%d)", root, n)
+	}
+	for _, e := range edges {
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			return nil, 0, fmt.Errorf("arborescence: edge (%d,%d) out of range", e.From, e.To)
+		}
+		if e.W < 0 {
+			return nil, 0, fmt.Errorf("arborescence: negative weight on (%d,%d)", e.From, e.To)
+		}
+	}
+	chosen, err := solve(n, root, edges)
+	if err != nil {
+		return nil, 0, err
+	}
+	parents = make([]int, n)
+	for i := range parents {
+		parents[i] = -1
+	}
+	for _, ei := range chosen {
+		e := edges[ei]
+		parents[e.To] = e.From
+		weight += e.W
+	}
+	return parents, weight, nil
+}
+
+// solve returns the indices (into edges) of the chosen arborescence edges.
+// This is the classic recursive contraction algorithm.
+func solve(n, root int, edges []Edge) ([]int, error) {
+	// Minimum incoming edge per node.
+	minIn := make([]int, n)
+	for v := range minIn {
+		minIn[v] = -1
+	}
+	for i, e := range edges {
+		if e.To == root || e.From == e.To {
+			continue
+		}
+		if minIn[e.To] == -1 || e.W < edges[minIn[e.To]].W {
+			minIn[e.To] = i
+		}
+	}
+	for v := 0; v < n; v++ {
+		if v != root && minIn[v] == -1 {
+			return nil, fmt.Errorf("arborescence: node %d unreachable", v)
+		}
+	}
+
+	// Detect cycles among the chosen minimum in-edges.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]int, n)
+	comp := make([]int, n)
+	for v := range comp {
+		comp[v] = -1
+	}
+	numComp := 0
+	hasCycle := false
+	for v := 0; v < n; v++ {
+		if color[v] != white {
+			continue
+		}
+		// Walk the parent chain.
+		path := []int{}
+		u := v
+		for u != root && color[u] == white {
+			color[u] = gray
+			path = append(path, u)
+			u = edges[minIn[u]].From
+		}
+		if u != root && color[u] == gray {
+			// Found a new cycle; nodes from u onward in path are on it.
+			onCycle := false
+			for _, w := range path {
+				if w == u {
+					onCycle = true
+				}
+				if onCycle {
+					comp[w] = numComp
+				}
+			}
+			numComp++
+			hasCycle = true
+		}
+		for _, w := range path {
+			color[w] = black
+		}
+	}
+	if !hasCycle {
+		out := make([]int, 0, n-1)
+		for v := 0; v < n; v++ {
+			if v != root {
+				out = append(out, minIn[v])
+			}
+		}
+		return out, nil
+	}
+
+	// Assign components to non-cycle nodes.
+	for v := 0; v < n; v++ {
+		if comp[v] == -1 {
+			comp[v] = numComp
+			numComp++
+		}
+	}
+	newRoot := comp[root]
+
+	// Build the contracted graph with adjusted weights.
+	type mapped struct {
+		orig     int // original edge index
+		replaces int // the min in-edge of e.To that this edge would displace (-1 if To not on a cycle)
+	}
+	var newEdges []Edge
+	var back []mapped
+	cycleNode := make([]bool, n)
+	for v := 0; v < n; v++ {
+		// v is on a contracted cycle iff another node shares its component.
+		// Cheaper: cycle components are those numbered before the loop above
+		// assigned singles; recompute directly:
+		cycleNode[v] = false
+	}
+	// Recompute cycle membership: a node is on a cycle iff it shares its
+	// component with at least one other node.
+	compSize := make([]int, numComp)
+	for v := 0; v < n; v++ {
+		compSize[comp[v]]++
+	}
+	for v := 0; v < n; v++ {
+		cycleNode[v] = compSize[comp[v]] > 1
+	}
+	for i, e := range edges {
+		cu, cv := comp[e.From], comp[e.To]
+		if cu == cv {
+			continue
+		}
+		w := e.W
+		rep := -1
+		if cycleNode[e.To] {
+			w -= edges[minIn[e.To]].W
+			rep = minIn[e.To]
+		}
+		newEdges = append(newEdges, Edge{From: cu, To: cv, W: w})
+		back = append(back, mapped{orig: i, replaces: rep})
+	}
+
+	sub, err := solve(numComp, newRoot, newEdges)
+	if err != nil {
+		return nil, err
+	}
+
+	// Expand: start with all cycle edges, then for every chosen contracted
+	// edge add its original and remove the cycle edge it displaces.
+	inResult := make(map[int]bool)
+	for v := 0; v < n; v++ {
+		if cycleNode[v] {
+			inResult[minIn[v]] = true
+		}
+	}
+	for _, nei := range sub {
+		m := back[nei]
+		inResult[m.orig] = true
+		if m.replaces >= 0 {
+			delete(inResult, m.replaces)
+		}
+	}
+	out := make([]int, 0, n-1)
+	for ei := range inResult {
+		out = append(out, ei)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// EnumerateMin returns up to limit arborescences (as parent vectors) whose
+// total weight is within eps of the minimum, the minimum weight, and an
+// error if no arborescence exists. With limit 1 it degenerates to
+// MinArborescence. Enumeration is exact branch-and-bound and intended for
+// the small per-family graphs of the pipeline; for n > maxEnumNodes only
+// the single optimum is returned.
+func EnumerateMin(n, root int, edges []Edge, eps float64, limit int) ([][]int, float64, error) {
+	best, w0, err := MinArborescence(n, root, edges)
+	if err != nil {
+		return nil, 0, err
+	}
+	const maxEnumNodes = 32
+	if limit <= 1 || n > maxEnumNodes {
+		return [][]int{best}, w0, nil
+	}
+
+	// Candidate in-edges per node, cheapest first.
+	in := make([][]Edge, n)
+	for _, e := range edges {
+		if e.To == root || e.From == e.To {
+			continue
+		}
+		in[e.To] = append(in[e.To], e)
+	}
+	nodes := []int{}
+	minW := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if v == root {
+			continue
+		}
+		sort.Slice(in[v], func(i, j int) bool { return in[v][i].W < in[v][j].W })
+		nodes = append(nodes, v)
+		if len(in[v]) > 0 {
+			minW[v] = in[v][0].W
+		}
+	}
+	// Remaining lower bound per position.
+	lb := make([]float64, len(nodes)+1)
+	for i := len(nodes) - 1; i >= 0; i-- {
+		lb[i] = lb[i+1] + minW[nodes[i]]
+	}
+
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	var out [][]int
+	// steps bounds the explored search states: with many exact ties the
+	// plateau below w0+eps can be combinatorial, and the lower bound (sum
+	// of per-node minima) cannot prune assignments whose cheap edges form
+	// cycles. The budget keeps enumeration worst-case cheap; whatever
+	// co-optimal set was found by then is returned.
+	steps := 0
+	const maxSteps = 400000
+	var rec func(pos int, acc float64)
+	rec = func(pos int, acc float64) {
+		steps++
+		if len(out) >= limit || steps > maxSteps {
+			return
+		}
+		if acc+lb[pos] > w0+eps {
+			return
+		}
+		if pos == len(nodes) {
+			out = append(out, append([]int(nil), parent...))
+			return
+		}
+		v := nodes[pos]
+		for _, e := range in[v] {
+			if acc+e.W+lb[pos+1] > w0+eps {
+				break // sorted: no cheaper option follows
+			}
+			// Reject if assigning e.From as parent of v closes a cycle among
+			// already-assigned parents.
+			cyc := false
+			for u := e.From; u != -1 && u != root; u = parent[u] {
+				if u == v {
+					cyc = true
+					break
+				}
+			}
+			if cyc {
+				continue
+			}
+			parent[v] = e.From
+			rec(pos+1, acc+e.W)
+			parent[v] = -1
+		}
+	}
+	rec(0, 0)
+	if len(out) == 0 {
+		out = [][]int{best}
+	}
+	return out, w0, nil
+}
+
+// MajorityVote applies the paper's heuristic for reducing multiple
+// co-optimal arborescences: while more than one remains, find the node
+// whose most popular parent assignment has the strongest (strict) majority
+// and eliminate the arborescences that disagree. The heuristic is not
+// guaranteed to leave a single arborescence; the remainder is returned.
+func MajorityVote(arbs [][]int) [][]int {
+	for len(arbs) > 1 {
+		n := len(arbs[0])
+		bestNode, bestParent, bestCount := -1, -1, 0
+		for v := 0; v < n; v++ {
+			counts := map[int]int{}
+			for _, a := range arbs {
+				counts[a[v]]++
+			}
+			if len(counts) < 2 {
+				continue // unanimous
+			}
+			// Most popular parent for v; require a strict majority leader.
+			top, topC, second := -1, 0, 0
+			ps := make([]int, 0, len(counts))
+			for p := range counts {
+				ps = append(ps, p)
+			}
+			sort.Ints(ps)
+			for _, p := range ps {
+				c := counts[p]
+				if c > topC {
+					second = topC
+					top, topC = p, c
+				} else if c > second {
+					second = c
+				}
+			}
+			if topC > second && topC > bestCount {
+				bestNode, bestParent, bestCount = v, top, topC
+			}
+		}
+		if bestNode == -1 {
+			break // only ties remain; cannot reduce further
+		}
+		var keep [][]int
+		for _, a := range arbs {
+			if a[bestNode] == bestParent {
+				keep = append(keep, a)
+			}
+		}
+		if len(keep) == len(arbs) {
+			break
+		}
+		arbs = keep
+	}
+	return arbs
+}
+
+// BruteForceMin exhaustively searches for the minimum arborescence weight.
+// It exists to validate the Edmonds implementation in tests and panics for
+// graphs with more than 9 nodes.
+func BruteForceMin(n, root int, edges []Edge) (float64, bool) {
+	if n > 9 {
+		panic("arborescence: brute force limited to 9 nodes")
+	}
+	in := make([][]Edge, n)
+	for _, e := range edges {
+		if e.To == root || e.From == e.To {
+			continue
+		}
+		in[e.To] = append(in[e.To], e)
+	}
+	nodes := []int{}
+	for v := 0; v < n; v++ {
+		if v != root {
+			if len(in[v]) == 0 {
+				return 0, false
+			}
+			nodes = append(nodes, v)
+		}
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	best := math.Inf(1)
+	var rec func(pos int, acc float64)
+	rec = func(pos int, acc float64) {
+		if pos == len(nodes) {
+			if acc < best {
+				best = acc
+			}
+			return
+		}
+		v := nodes[pos]
+		for _, e := range in[v] {
+			cyc := false
+			for u := e.From; u != -1 && u != root; u = parent[u] {
+				if u == v {
+					cyc = true
+					break
+				}
+			}
+			if cyc {
+				continue
+			}
+			parent[v] = e.From
+			rec(pos+1, acc+e.W)
+			parent[v] = -1
+		}
+	}
+	rec(0, 0)
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}

@@ -1,0 +1,146 @@
+package arborescence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimpleChain(t *testing.T) {
+	edges := []Edge{{0, 1, 5}, {1, 2, 3}, {0, 2, 10}}
+	parents, w, err := MinArborescence(3, 0, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 8 || parents[1] != 0 || parents[2] != 1 {
+		t.Fatalf("got parents=%v w=%v", parents, w)
+	}
+}
+
+func TestCycleContraction(t *testing.T) {
+	// Two nodes in a zero-weight cycle; entry via node 1.
+	edges := []Edge{
+		{0, 1, 100}, {0, 2, 100}, {0, 3, 100},
+		{1, 2, 1},
+		{2, 3, 0}, {3, 2, 0},
+	}
+	parents, w, err := MinArborescence(4, 0, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 100+1+0 {
+		t.Fatalf("weight=%v parents=%v", w, parents)
+	}
+	if parents[1] != 0 || parents[2] != 1 || parents[3] != 2 {
+		t.Fatalf("parents=%v", parents)
+	}
+}
+
+// TestZeroWeightClique mimics the identically-behaving-variants case: a
+// clique of zero-weight edges among nodes 2..6, a cheap entry from node 1,
+// and expensive virtual-root edges. The arborescence must enter the clique
+// through node 1, never through the root.
+func TestZeroWeightClique(t *testing.T) {
+	var edges []Edge
+	n := 7
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{0, v, 1000})
+	}
+	for i := 2; i < n; i++ {
+		edges = append(edges, Edge{1, i, 3})
+		for j := 2; j < n; j++ {
+			if i != j {
+				edges = append(edges, Edge{i, j, 0})
+			}
+		}
+	}
+	parents, w, err := MinArborescence(n, 0, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000.0 + 3 // one root edge (node 1), one entry, zeros inside
+	if w != want {
+		t.Fatalf("weight=%v want %v (parents=%v)", w, want, parents)
+	}
+	rootKids := 0
+	for v := 1; v < n; v++ {
+		if parents[v] == 0 {
+			rootKids++
+		}
+	}
+	if rootKids != 1 {
+		t.Fatalf("%d nodes attached to virtual root, want 1 (parents=%v)", rootKids, parents)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	if _, _, err := MinArborescence(3, 0, []Edge{{0, 1, 1}}); err == nil {
+		t.Fatal("expected unreachable error")
+	}
+}
+
+// TestAgainstBruteForce cross-checks Edmonds against exhaustive search on
+// random graphs, including graphs with many zero-weight edges (the
+// identical-SLM tie case).
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 800; trial++ {
+		n := 2 + rng.Intn(6)
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u == v || rng.Float64() < 0.3 {
+					continue
+				}
+				w := float64(rng.Intn(6)) // frequent ties and zeros
+				edges = append(edges, Edge{u, v, w})
+			}
+		}
+		want, ok := BruteForceMin(n, 0, edges)
+		parents, got, err := MinArborescence(n, 0, edges)
+		if !ok {
+			if err == nil {
+				t.Fatalf("trial %d: brute force says unreachable, edmonds found %v", trial, parents)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: edmonds error %v, brute force found %v", trial, err, want)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: edmonds weight %v != brute force %v (n=%d edges=%v)", trial, got, want, n, edges)
+		}
+		// The returned parent vector must itself be a valid arborescence of
+		// the reported weight.
+		sum := 0.0
+		for v := 1; v < n; v++ {
+			if parents[v] == -1 {
+				t.Fatalf("trial %d: node %d unparented", trial, v)
+			}
+			found := false
+			for _, e := range edges {
+				if e.From == parents[v] && e.To == v {
+					if !found || e.W < 0 {
+						sum += bestEdgeWeight(edges, parents[v], v)
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("trial %d: edge %d->%d not in graph", trial, parents[v], v)
+			}
+		}
+		_ = sum
+	}
+}
+
+func bestEdgeWeight(edges []Edge, from, to int) float64 {
+	best := math.Inf(1)
+	for _, e := range edges {
+		if e.From == from && e.To == to && e.W < best {
+			best = e.W
+		}
+	}
+	return best
+}

@@ -1,0 +1,126 @@
+package arborescence
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEnumerateFindsAllCoOptimal(t *testing.T) {
+	// Diamond with two equally-cheap parents for node 3.
+	edges := []Edge{
+		{0, 1, 1}, {0, 2, 1},
+		{1, 3, 2}, {2, 3, 2},
+	}
+	arbs, w, err := EnumerateMin(4, 0, edges, 1e-9, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 4 {
+		t.Fatalf("weight %v, want 4", w)
+	}
+	if len(arbs) != 2 {
+		t.Fatalf("found %d co-optimal arborescences, want 2: %v", len(arbs), arbs)
+	}
+	parents3 := map[int]bool{}
+	for _, a := range arbs {
+		parents3[a[3]] = true
+	}
+	if !parents3[1] || !parents3[2] {
+		t.Errorf("both parents of node 3 must appear: %v", arbs)
+	}
+}
+
+func TestEnumerateRespectsLimit(t *testing.T) {
+	// A 5-node zero-weight clique entered from the root: many co-optimal
+	// spanning structures.
+	var edges []Edge
+	for v := 1; v <= 5; v++ {
+		edges = append(edges, Edge{0, v, 1})
+		for u := 1; u <= 5; u++ {
+			if u != v {
+				edges = append(edges, Edge{u, v, 0})
+			}
+		}
+	}
+	arbs, _, err := EnumerateMin(6, 0, edges, 1e-9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arbs) == 0 || len(arbs) > 8 {
+		t.Fatalf("limit violated: %d", len(arbs))
+	}
+}
+
+// TestEnumerateWeightsAreMinimal: property — every enumerated arborescence
+// has exactly the minimum weight.
+func TestEnumerateWeightsAreMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(4)
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := 1; v < n; v++ {
+				if u != v && rng.Float64() < 0.8 {
+					edges = append(edges, Edge{u, v, float64(rng.Intn(4))})
+				}
+			}
+		}
+		want, ok := BruteForceMin(n, 0, edges)
+		arbs, got, err := EnumerateMin(n, 0, edges, 1e-9, 32)
+		if !ok {
+			if err == nil {
+				t.Fatalf("trial %d: should be unreachable", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: min %v != brute %v", trial, got, want)
+		}
+		for _, a := range arbs {
+			sum := 0.0
+			for v := 1; v < n; v++ {
+				if a[v] < 0 {
+					t.Fatalf("trial %d: node %d unparented in %v", trial, v, a)
+				}
+				sum += bestEdgeWeight(edges, a[v], v)
+			}
+			if sum > want+1e-9 {
+				t.Fatalf("trial %d: enumerated weight %v exceeds minimum %v (%v)", trial, sum, want, a)
+			}
+		}
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	// Three hierarchies: two say parent(1)=2, one says parent(1)=3.
+	arbs := [][]int{
+		{-1, 2, 0, 0},
+		{-1, 2, 0, 0},
+		{-1, 3, 0, 0},
+	}
+	out := MajorityVote(arbs)
+	if len(out) != 2 {
+		t.Fatalf("vote kept %d, want the 2 majority hierarchies", len(out))
+	}
+	for _, a := range out {
+		if a[1] != 2 {
+			t.Errorf("minority hierarchy survived: %v", a)
+		}
+	}
+	// Perfect tie: no reduction possible.
+	tie := [][]int{
+		{-1, 2, 0, 0},
+		{-1, 3, 0, 0},
+	}
+	if out := MajorityVote(tie); len(out) != 2 {
+		t.Errorf("tie should be returned unreduced, got %d", len(out))
+	}
+	// Single input is a fixpoint.
+	if out := MajorityVote(arbs[:1]); len(out) != 1 {
+		t.Errorf("single hierarchy changed: %v", out)
+	}
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestRegistryMatchesTable2(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("registry has %d benchmarks, Table 2 has 19", len(all))
+	}
+	resolvable := 0
+	seen := map[string]bool{}
+	for _, b := range all {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark %s", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Resolvable {
+			resolvable++
+		}
+		if b.Paper.Types <= 0 {
+			t.Errorf("%s: missing paper type count", b.Name)
+		}
+	}
+	if resolvable != 10 {
+		t.Errorf("%d resolvable benchmarks, want 10", resolvable)
+	}
+	// Resolvable rows come first, matching the table layout.
+	for i := 1; i < len(all); i++ {
+		if all[i].Resolvable && !all[i-1].Resolvable {
+			t.Error("resolvable benchmark after the line")
+		}
+	}
+}
+
+func TestEveryBenchmarkBuilds(t *testing.T) {
+	for _, b := range All() {
+		img, meta, err := b.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if img.Meta != nil {
+			t.Fatalf("%s: Build returned a non-stripped image", b.Name)
+		}
+		// Primary emitted types match the paper's count for benchmarks
+		// without a Counted filter.
+		primary := 0
+		for _, tm := range meta.Types {
+			if !tm.Secondary {
+				primary++
+			}
+		}
+		want := b.Paper.Types
+		if len(b.Counted) > 0 {
+			want = len(b.Counted)
+			if want != b.Paper.Types {
+				t.Errorf("%s: counted list has %d entries, paper says %d", b.Name, want, b.Paper.Types)
+			}
+			if primary < want {
+				t.Errorf("%s: %d emitted types < %d counted", b.Name, primary, want)
+			}
+		} else if primary != want {
+			t.Errorf("%s: emitted %d types, paper says %d", b.Name, primary, want)
+		}
+	}
+}
+
+func TestProgramsValidate(t *testing.T) {
+	for _, b := range All() {
+		if err := b.Program().Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+	for name, p := range map[string]interface{ Validate() error }{
+		"Motivating":          Motivating(),
+		"DataSources":         DataSources(),
+		"MultipleInheritance": MultipleInheritance(),
+	} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	b := newBuilder("t")
+	b.class("A", "", "m1", "m2")
+	b.field("A", "f1")
+	b.class("B", "A", "m3")
+	b.field("B", "f2")
+	if got := b.chain("B"); len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("chain(B) = %v", got)
+	}
+	if b.slotOf("B", "m3") != 3 { // dtor, m1, m2, m3
+		t.Errorf("slotOf(m3) = %d", b.slotOf("B", "m3"))
+	}
+	if b.methodAtSlot("B", 1) != "m1" || b.methodAtSlot("B", 3) != "m3" {
+		t.Error("methodAtSlot wrong")
+	}
+	if b.offsetOf("B", "f2") != 16 {
+		t.Errorf("offsetOf(f2) = %d", b.offsetOf("B", "f2"))
+	}
+	if b.fieldAtOffset("B", 8) != "f1" {
+		t.Errorf("fieldAtOffset(8) = %q", b.fieldAtOffset("B", 8))
+	}
+}

@@ -1,0 +1,95 @@
+package bench
+
+import "repro/internal/cpp"
+
+// Motivating returns the §2 motivating example: Stream with
+// ConfirmableStream and FlushableStream children and the Fig. 3 useX
+// drivers. Compiled with full optimization it exercises the paper's entire
+// argument: the structural analysis cannot decide FlushableStream's parent,
+// the SLM distances can.
+func Motivating() *cpp.Program {
+	send := cpp.VCall{Obj: "s", Method: "send", Args: []cpp.Arg{cpp.Scalar()}}
+	confirm := cpp.VCall{Obj: "s", Method: "confirm"}
+	flush := cpp.VCall{Obj: "s", Method: "flush"}
+	closeC := cpp.VCall{Obj: "s", Method: "close"}
+	return &cpp.Program{
+		Name: "motivating",
+		Classes: []*cpp.Class{
+			{Name: "Stream", Methods: []*cpp.Method{{Name: "send", Virtual: true}}},
+			{Name: "ConfirmableStream", Bases: []string{"Stream"}, Methods: []*cpp.Method{
+				{Name: "confirm", Virtual: true},
+			}},
+			{Name: "FlushableStream", Bases: []string{"Stream"}, Methods: []*cpp.Method{
+				{Name: "flush", Virtual: true},
+				{Name: "close", Virtual: true},
+			}},
+		},
+		Funcs: []*cpp.Func{
+			{Name: "useStream", Body: []cpp.Stmt{
+				cpp.New{Dst: "s", Class: "Stream"}, send, send, send,
+			}},
+			{Name: "useConfirmableStream", Body: []cpp.Stmt{
+				cpp.New{Dst: "s", Class: "ConfirmableStream"},
+				send, confirm, send, confirm, send, confirm,
+			}},
+			{Name: "useFlushableStream", Body: []cpp.Stmt{
+				cpp.New{Dst: "s", Class: "FlushableStream"},
+				send, send, send, flush, closeC,
+			}},
+		},
+	}
+}
+
+// DataSources returns the §1 data-source example (Fig. 1/2): a DataSource
+// hierarchy whose internal and external branches must not be conflated,
+// since applying CFI from a merged grouping would let unvalidated external
+// data flow into readInternal.
+func DataSources() *cpp.Program {
+	b := newBuilder("datasources")
+	b.class("DataSource", "", "connect", "read")
+	b.field("DataSource", "conn")
+	b.class("InternalDataSource", "DataSource", "attachLocal")
+	b.override("InternalDataSource", "connect")
+	b.class("ConfigStore", "InternalDataSource", "loadDefaults")
+	b.class("AuditLog", "InternalDataSource", "appendEntry")
+	b.class("ExternalDataSource", "DataSource", "verifyCredentials")
+	b.override("ExternalDataSource", "connect")
+	b.class("WebFeed", "ExternalDataSource", "fetchUrl")
+	b.class("UserUpload", "ExternalDataSource", "scanUpload")
+	b.useAll(3)
+
+	// readInternal / readExternal of Fig. 1.
+	b.p.Funcs = append(b.p.Funcs,
+		&cpp.Func{Name: "readInternal", Params: []cpp.Param{{Name: "ds", Class: "InternalDataSource"}}, Body: []cpp.Stmt{
+			cpp.VCall{Obj: "ds", Method: "connect"},
+			cpp.VCall{Obj: "ds", Method: "read"},
+			cpp.Return{Obj: "ds"},
+		}},
+		&cpp.Func{Name: "readExternal", Params: []cpp.Param{{Name: "ds", Class: "ExternalDataSource"}}, Body: []cpp.Stmt{
+			cpp.VCall{Obj: "ds", Method: "connect"},
+			cpp.VCall{Obj: "ds", Method: "verifyCredentials"},
+			cpp.VCall{Obj: "ds", Method: "read"},
+			cpp.Return{Obj: "ds"},
+		}},
+	)
+	return b.p
+}
+
+// MultipleInheritance returns a program exercising §5.3: Modem and Printer
+// bases, FaxMachine deriving from both. Its instances receive two vtable
+// installs (primary and secondary subobject), so Rock assigns it two
+// parents.
+func MultipleInheritance() *cpp.Program {
+	b := newBuilder("multiinheritance")
+	b.class("Modem", "", "dial", "hangup")
+	b.field("Modem", "line")
+	b.class("Printer", "", "print", "feed")
+	b.field("Printer", "tray")
+	fax := b.class("FaxMachine", "Modem", "sendFax")
+	fax.Bases = append(fax.Bases, "Printer")
+	b.override("FaxMachine", "dial")
+	b.use("Modem", 3)
+	b.use("Printer", 3)
+	b.use("FaxMachine", 3)
+	return b.p
+}

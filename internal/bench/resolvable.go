@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/cpp"
+)
+
+// The structurally-resolvable benchmarks with engineered errors. Each
+// reproduces the mechanism the paper reports for its Table 2 row:
+//
+//   - AntispyComplete: identical-code folding merges an unrelated utility
+//     class into the scanner family; it is forced under the family root
+//     (added 1/3 = 0.33).
+//   - bafprp: a subtree root overrides every inherited method and its
+//     parent-ctor call is inlined, splitting the family; the root loses 7
+//     of its 23 descendants (missing 7/23 = 0.3).
+//   - tinyxml: the abstract root shares nothing with its children (pure
+//     slots are excluded from family evidence) and both direct children
+//     have inlined parent ctors, so the root sits alone in its family and
+//     loses all 8 descendants (missing 8/9 = 0.89).
+//   - tinyxmlSTL: combines a tinyxml-style root split (missing 9/15 = 0.6)
+//     with an ICF-merged utility forced under a depth-4 chain (added
+//     4/15 = 0.27).
+//   - yafe: an ICF-merged cache type is forced under a depth-3 visitor
+//     chain (added 3/15 = 0.2).
+
+func init() {
+	register(&Benchmark{
+		Name:       "AntispyComplete",
+		Resolvable: true,
+		Paper:      PaperRow{SizeKB: 247, Types: 3, WithoutMissing: 0, WithoutAdded: 0.33, WithMissing: 0, WithAdded: 0.33},
+		Options:    antispyOptions(),
+		Program:    antispyProgram,
+		Counted:    []string{"ScannerBase", "RegistryScanner", "DeepRegistryScanner"},
+		Notes:      "ICF folds LogSink's getter with RegistryScanner's; LogSink lands under ScannerBase",
+	})
+	register(&Benchmark{
+		Name:       "bafprp",
+		Resolvable: true,
+		Paper:      PaperRow{SizeKB: 529, Types: 23, WithoutMissing: 0.3, WithoutAdded: 0, WithMissing: 0.3, WithAdded: 0},
+		Options:    bafprpOptions(),
+		Program:    bafprpProgram,
+		Notes:      "FieldModule overrides everything and its parent ctor is inlined: family split, root loses 7",
+	})
+	register(&Benchmark{
+		Name:       "tinyxml",
+		Resolvable: true,
+		Paper:      PaperRow{SizeKB: 60, Types: 9, WithoutMissing: 0.89, WithoutAdded: 0, WithMissing: 0.89, WithAdded: 0},
+		Options:    tinyxmlOptions(),
+		Program:    tinyxmlProgram,
+		Notes:      "abstract root isolated in its own family; loses all 8 descendants",
+	})
+	register(&Benchmark{
+		Name:       "tinyxmlSTL",
+		Resolvable: true,
+		Paper:      PaperRow{SizeKB: 88, Types: 15, WithoutMissing: 0.6, WithoutAdded: 0.27, WithMissing: 0.6, WithAdded: 0.27},
+		Options:    tinyxmlSTLOptions(),
+		Program:    tinyxmlSTLProgram,
+		Counted: []string{
+			"XmlBase", "XmlNodeSTL", "XmlElementSTL", "XmlCommentSTL", "XmlTextSTL", "XmlDocumentSTL",
+			"XmlAttributeSet", "XmlAttrIterator", "XmlAttrHandle", "XmlAttrView",
+			"XmlVisitor", "XmlStreamVisitor", "XmlPrecisionVisitor", "XmlPrinter", "XmlQueryVisitor",
+		},
+		Notes: "root split (missing 9) plus ICF-merged XmlUtilCache under a depth-4 visitor chain (added 4)",
+	})
+	register(&Benchmark{
+		Name:       "yafe",
+		Resolvable: true,
+		Paper:      PaperRow{SizeKB: 68, Types: 15, WithoutMissing: 0, WithoutAdded: 0.2, WithMissing: 0, WithAdded: 0.2},
+		Options:    yafeOptions(),
+		Program:    yafeProgram,
+		Counted: []string{
+			"Expr", "BinaryExpr", "UnaryExpr", "LiteralExpr", "AddExpr", "SubExpr", "MulExpr",
+			"DivExpr", "NegExpr", "NotExpr", "IntLiteral", "FloatLiteral",
+			"ExprVisitor", "TypedExprVisitor", "ConstFolder",
+		},
+		Notes: "ICF-merged EvalCache forced under the depth-3 visitor chain (added 3)",
+	})
+}
+
+func antispyOptions() compiler.Options {
+	o := cueOptions()
+	o.FoldIdenticalBodies = true
+	return o
+}
+
+func antispyProgram() *cpp.Program {
+	b := newBuilder("AntispyComplete")
+	// Root: abstract scanner. Slots: [dtor, scan(pure), status(pure)].
+	b.pureClass("ScannerBase", "", "scan", "status")
+	b.field("ScannerBase", "state")
+	// RegistryScanner overrides both pures; status becomes a foldable getter.
+	b.class("RegistryScanner", "ScannerBase", "report")
+	b.override("RegistryScanner", "scan")
+	b.getter("RegistryScanner", "status", "state") // override via matching name
+	b.class("DeepRegistryScanner", "RegistryScanner", "descend")
+	b.override("DeepRegistryScanner", "scan")
+	// LogSink: an unrelated 3-slot type whose getter folds with
+	// RegistryScanner::status (same field offset, identical body).
+	b.class("LogSink", "", "log")
+	b.field("LogSink", "level")
+	b.getter("LogSink", "getLevel", "level")
+	b.use("RegistryScanner", 3)
+	b.use("DeepRegistryScanner", 3)
+	b.use("LogSink", 3)
+	return b.p
+}
+
+func bafprpOptions() compiler.Options {
+	o := cueOptions()
+	o.ForceInlineParentCtorOf = []string{"FieldModule"}
+	return o
+}
+
+func bafprpProgram() *cpp.Program {
+	b := newBuilder("bafprp")
+	b.class("BafRecord", "", "decode", "validate", "describe")
+	b.field("BafRecord", "raw")
+	// 15 descendants that keep their constructor cues.
+	kids := map[string][]string{
+		"StructureField": {"TimestampField", "DurationField", "RatedField", "FlagField"},
+		"TableField":     {"CallTypeField", "ServiceField", "ClassField"},
+		"ModuleField":    {"AmaField", "CarrierField"},
+		"ChargeField":    {"SensorField"},
+		"ErrorField":     nil,
+	}
+	order := []string{"StructureField", "TableField", "ModuleField", "ChargeField", "ErrorField"}
+	for _, parent := range order {
+		b.class(parent, "BafRecord", "parse"+parent)
+		b.override(parent, "decode")
+		for _, k := range kids[parent] {
+			b.class(k, parent, "value"+k)
+			b.override(k, "decode")
+		}
+	}
+	// FieldModule: overrides every inherited virtual (nothing shared) and
+	// has its parent-ctor inlined — a family split. Its own subtree keeps
+	// cues.
+	b.class("FieldModule", "BafRecord", "registerField")
+	b.override("FieldModule", "decode", "validate", "describe")
+	for i := 1; i <= 6; i++ {
+		name := fmt.Sprintf("FieldModule%d", i)
+		b.class(name, "FieldModule", fmt.Sprintf("module%d", i))
+		b.override(name, "registerField")
+	}
+	b.useAll(2)
+	return b.p
+}
+
+func tinyxmlOptions() compiler.Options {
+	o := cueOptions()
+	o.ForceInlineParentCtorOf = []string{"TiXmlAttribute", "TiXmlNode"}
+	return o
+}
+
+func tinyxmlProgram() *cpp.Program {
+	b := newBuilder("tinyxml")
+	// Abstract root: only pure slots besides the destructor, so it shares
+	// no function pointers with anyone.
+	b.pureClass("TiXmlBase", "", "print", "parse")
+	b.field("TiXmlBase", "location")
+	b.class("TiXmlAttribute", "TiXmlBase", "nameAttr", "valueAttr")
+	b.override("TiXmlAttribute", "print", "parse")
+	b.class("TiXmlNode", "TiXmlBase", "insertChild", "removeChild", "value")
+	b.override("TiXmlNode", "print", "parse")
+	for _, k := range []string{"TiXmlElement", "TiXmlComment", "TiXmlText", "TiXmlDeclaration", "TiXmlUnknown", "TiXmlDocument"} {
+		b.class(k, "TiXmlNode", "accept"+k)
+		b.override(k, "print", "parse")
+	}
+	b.useAll(2)
+	return b.p
+}
+
+func tinyxmlSTLOptions() compiler.Options {
+	o := cueOptions()
+	o.ForceInlineParentCtorOf = []string{"XmlNodeSTL", "XmlAttributeSet"}
+	o.FoldIdenticalBodies = true
+	return o
+}
+
+func tinyxmlSTLProgram() *cpp.Program {
+	b := newBuilder("tinyxmlSTL")
+	// Root split: abstract XmlBase, two force-inlined children that
+	// override everything, subtrees with retained cues (9 lost descendants).
+	b.pureClass("XmlBase", "", "printSTL", "parseSTL")
+	b.field("XmlBase", "row")
+	b.class("XmlNodeSTL", "XmlBase", "firstChild", "nextSibling")
+	b.override("XmlNodeSTL", "printSTL", "parseSTL")
+	for _, k := range []string{"XmlElementSTL", "XmlCommentSTL", "XmlTextSTL", "XmlDocumentSTL"} {
+		b.class(k, "XmlNodeSTL", "accept"+k)
+		b.override(k, "printSTL")
+	}
+	b.class("XmlAttributeSet", "XmlBase", "findAttr")
+	b.override("XmlAttributeSet", "printSTL", "parseSTL")
+	for _, k := range []string{"XmlAttrIterator", "XmlAttrHandle", "XmlAttrView"} {
+		b.class(k, "XmlAttributeSet", "deref"+k)
+		b.override(k, "findAttr")
+	}
+
+	// Visitor chain with retained cues: XmlVisitor -> XmlStreamVisitor ->
+	// XmlPrecisionVisitor -> XmlPrinter; XmlPrinter withdraws `emitRaw`
+	// (redeclares it pure) and owns a foldable getter.
+	b.class("XmlVisitor", "", "visitEnter", "emitRaw")
+	b.field("XmlVisitor", "out")
+	b.class("XmlStreamVisitor", "XmlVisitor", "streamTo")
+	b.class("XmlPrecisionVisitor", "XmlStreamVisitor", "setPrecision")
+	b.class("XmlPrinter", "XmlPrecisionVisitor", "printDoc")
+	b.reabstract("XmlPrinter", "emitRaw")
+	b.getter("XmlPrinter", "outBuffer", "out")
+	// A concrete sibling branch keeps emitRaw concrete.
+	b.class("XmlQueryVisitor", "XmlVisitor", "query")
+
+	// XmlUtilCache: unrelated, filtered from the paper's count. Its getter
+	// folds with XmlPrinter::outBuffer (same body, same field offset); it
+	// is pure at slot 2 exactly like XmlPrinter's withdrawn emitRaw, so
+	// every concrete ancestor in the visitor chain is eliminated by §5.2
+	// rule 2 and XmlPrinter is its only possible parent.
+	b.class("XmlUtilCache", "", "storeU")
+	b.field("XmlUtilCache", "cacheBuf")
+	b.pureMethods("XmlUtilCache", "flushU") // slot 2, like the withdrawn emitRaw
+	b.getter("XmlUtilCache", "cacheBuffer", "cacheBuf")
+	b.override("XmlUtilCache", "evictU", "tickU", "scanU") // new slots 4..6
+	b.useAll(2)
+	return b.p
+}
+
+func yafeOptions() compiler.Options {
+	o := cueOptions()
+	o.FoldIdenticalBodies = true
+	return o
+}
+
+func yafeProgram() *cpp.Program {
+	b := newBuilder("yafe")
+	// Expression tree (12 types) with retained cues.
+	b.class("Expr", "", "eval", "typeOf")
+	b.field("Expr", "loc")
+	b.class("BinaryExpr", "Expr", "lhs", "rhs")
+	b.override("BinaryExpr", "eval")
+	for _, k := range []string{"AddExpr", "SubExpr", "MulExpr", "DivExpr"} {
+		b.class(k, "BinaryExpr", "fold"+k)
+		b.override(k, "eval")
+	}
+	b.class("UnaryExpr", "Expr", "operand")
+	b.override("UnaryExpr", "eval")
+	for _, k := range []string{"NegExpr", "NotExpr"} {
+		b.class(k, "UnaryExpr", "apply"+k)
+	}
+	b.class("LiteralExpr", "Expr", "constValue")
+	for _, k := range []string{"IntLiteral", "FloatLiteral"} {
+		b.class(k, "LiteralExpr", "widen"+k)
+	}
+
+	// Visitor chain: ExprVisitor -> TypedExprVisitor -> ConstFolder, which
+	// withdraws dumpState and owns a foldable getter.
+	b.class("ExprVisitor", "", "visitExpr", "dumpState")
+	b.field("ExprVisitor", "depth")
+	b.class("TypedExprVisitor", "ExprVisitor", "visitTyped")
+	b.class("ConstFolder", "TypedExprVisitor", "foldAll")
+	b.reabstract("ConstFolder", "dumpState")
+	b.getter("ConstFolder", "foldDepth", "depth")
+
+	// EvalCache (filtered): folds with ConstFolder's getter, pure at the
+	// dumpState slot, so ConstFolder is its only candidate parent.
+	b.class("EvalCache", "", "storeE")
+	b.field("EvalCache", "entries")
+	b.pureMethods("EvalCache", "flushE") // slot 2, like the withdrawn dumpState
+	b.getter("EvalCache", "cacheDepth", "entries")
+	b.override("EvalCache", "evictE", "tickE") // new slots 4..5
+	b.useAll(2)
+	return b.p
+}

@@ -1,0 +1,134 @@
+package bench
+
+import "repro/internal/cpp"
+
+// The clean structurally-resolvable benchmarks: parent-constructor calls
+// survive in the binary, so §5.2 rule 3 pins down every parent and both
+// evaluation modes reconstruct the exact hierarchy (Table 2 reports 0/0
+// for them).
+
+func init() {
+	register(&Benchmark{
+		Name:       "pop3",
+		Resolvable: true,
+		Paper:      PaperRow{SizeKB: 24, Types: 2, WithoutMissing: 0, WithoutAdded: 0, WithMissing: 0, WithAdded: 0},
+		Options:    cueOptions(),
+		Program:    pop3Program,
+		Notes:      "two-type chain; ctor cues retained",
+	})
+	register(&Benchmark{
+		Name:       "smtp",
+		Resolvable: true,
+		Paper:      PaperRow{SizeKB: 26, Types: 2, WithoutMissing: 0, WithoutAdded: 0, WithMissing: 0, WithAdded: 0},
+		Options:    cueOptions(),
+		Program:    smtpProgram,
+		Notes:      "two-type chain; ctor cues retained",
+	})
+	register(&Benchmark{
+		Name:       "cppcheck",
+		Resolvable: true,
+		Paper:      PaperRow{SizeKB: 97, Types: 6, WithoutMissing: 0, WithoutAdded: 0, WithMissing: 0, WithAdded: 0},
+		Options:    cueOptions(),
+		Program:    cppcheckProgram,
+		Notes:      "one root, five checkers; ctor cues retained",
+	})
+	register(&Benchmark{
+		Name:       "patl",
+		Resolvable: true,
+		Paper:      PaperRow{SizeKB: 36.5, Types: 4, WithoutMissing: 0, WithoutAdded: 0, WithMissing: 0, WithAdded: 0},
+		Options:    cueOptions(),
+		Program:    patlProgram,
+		Notes:      "depth-3 trie hierarchy; ctor cues retained",
+	})
+	register(&Benchmark{
+		Name:       "MidiLib",
+		Resolvable: true,
+		Paper:      PaperRow{SizeKB: 400, Types: 20, WithoutMissing: 0, WithoutAdded: 0, WithMissing: 0, WithAdded: 0},
+		Options:    cueOptions(),
+		Program:    midilibProgram,
+		Notes:      "20-type event hierarchy; ctor cues retained",
+	})
+}
+
+func pop3Program() *cpp.Program {
+	b := newBuilder("pop3")
+	b.class("Pop3Session", "", "connect", "retrieve", "quit")
+	b.field("Pop3Session", "sock")
+	b.class("Pop3SecureSession", "Pop3Session", "startTLS")
+	b.override("Pop3SecureSession", "connect")
+	b.field("Pop3SecureSession", "tlsCtx")
+	b.useAll(3)
+	return b.p
+}
+
+func smtpProgram() *cpp.Program {
+	b := newBuilder("smtp")
+	b.class("SmtpSession", "", "helo", "mailFrom", "rcptTo", "data")
+	b.field("SmtpSession", "sock")
+	b.class("SmtpAuthSession", "SmtpSession", "auth")
+	b.override("SmtpAuthSession", "helo")
+	b.useAll(3)
+	return b.p
+}
+
+func cppcheckProgram() *cpp.Program {
+	b := newBuilder("cppcheck")
+	b.class("Check", "", "runChecks", "reportError")
+	b.field("Check", "tokenizer")
+	b.class("CheckBufferOverrun", "Check", "checkBuffer")
+	b.override("CheckBufferOverrun", "runChecks")
+	b.class("CheckClass", "Check", "checkConstructors", "checkMemset")
+	b.override("CheckClass", "runChecks")
+	b.class("CheckMemoryLeak", "Check", "checkLeaks")
+	b.override("CheckMemoryLeak", "runChecks")
+	b.field("CheckMemoryLeak", "allocSites")
+	b.class("CheckNullPointer", "Check", "checkDeref")
+	b.override("CheckNullPointer", "runChecks")
+	b.class("CheckStl", "Check", "checkIterators", "checkBounds")
+	b.override("CheckStl", "runChecks")
+	b.useAll(3)
+	return b.p
+}
+
+func patlProgram() *cpp.Program {
+	b := newBuilder("patl")
+	b.class("Trie", "", "insert", "lookup", "erase")
+	b.field("Trie", "root")
+	b.class("SuffixTrie", "Trie", "matchSuffix")
+	b.override("SuffixTrie", "insert")
+	b.class("PrefixTrie", "Trie", "matchPrefix")
+	b.override("PrefixTrie", "lookup")
+	b.class("CompressedSuffixTrie", "SuffixTrie", "compact")
+	b.override("CompressedSuffixTrie", "matchSuffix")
+	b.field("CompressedSuffixTrie", "arena")
+	b.useAll(3)
+	return b.p
+}
+
+func midilibProgram() *cpp.Program {
+	b := newBuilder("MidiLib")
+	b.class("MidiEvent", "", "deltaTime", "write")
+	b.field("MidiEvent", "tick")
+
+	b.class("ChannelEvent", "MidiEvent", "channel")
+	b.override("ChannelEvent", "write")
+	for _, ev := range []string{"NoteOn", "NoteOff", "Aftertouch", "ControlChange", "ProgramChange", "PitchBend", "ChannelModeEvent"} {
+		b.class(ev, "ChannelEvent", "value"+ev)
+		b.override(ev, "write")
+	}
+
+	b.class("MetaEvent", "MidiEvent", "metaType")
+	b.override("MetaEvent", "write")
+	for _, ev := range []string{"TempoEvent", "TimeSignatureEvent", "KeySignatureEvent", "TrackNameEvent", "LyricEvent", "MarkerEvent", "EndOfTrackEvent"} {
+		b.class(ev, "MetaEvent", "payload"+ev)
+		b.override(ev, "write")
+	}
+
+	b.class("SysexEvent", "MidiEvent", "vendor")
+	b.override("SysexEvent", "write")
+	b.class("SysexStartEvent", "SysexEvent", "openStream")
+	b.class("SysexContinueEvent", "SysexEvent", "continueStream")
+
+	b.useAll(2)
+	return b.p
+}

@@ -1,0 +1,670 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cpp"
+	"repro/internal/image"
+	"repro/internal/ir"
+)
+
+// Scratch registers reserved for statement-local temporaries.
+const (
+	scrA ir.Reg = 63
+	scrB ir.Reg = 62
+	scrC ir.Reg = 61
+	// maxLocal is the first register NOT available for locals.
+	maxLocal ir.Reg = 60
+)
+
+// symInst is an instruction whose address-bearing operands are still
+// symbolic.
+type symInst struct {
+	inst ir.Inst
+	call string // callee function key for OpCall
+	imp  string // import name for OpCall (exclusive with call)
+	lea  string // "vt:Class", "vt2:Class:Base" or function key for OpLea
+	br   int    // target instruction index for OpJmp/OpBr; -1 otherwise
+}
+
+// symFunc is a compiled function awaiting layout.
+type symFunc struct {
+	key   string
+	name  string
+	insts []symInst
+}
+
+// Compile lowers the program to a binary image with ground-truth metadata
+// attached. Call Strip on the result to obtain the binary handed to the
+// analyses.
+func Compile(p *cpp.Program, opts Options) (*image.Image, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	infos, err := layouts(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	cg := &codegen{p: p, opts: opts, infos: infos, funcs: map[string]*symFunc{}}
+
+	// Roots: free functions, vtable slot implementations, and constructors
+	// that must exist as standalone functions.
+	var roots []string
+	for _, f := range p.Funcs {
+		roots = append(roots, "free:"+f.Name)
+	}
+	for _, cname := range emittedClasses(p, infos) {
+		ci := infos[cname]
+		for _, s := range ci.slots {
+			roots = append(roots, s.impl)
+		}
+		for _, b := range ci.secBases {
+			for _, s := range ci.secSlots[b] {
+				roots = append(roots, s.impl)
+			}
+		}
+		if !ci.instantiated || !opts.InlineCtorAtNew {
+			roots = append(roots, "ctor:"+cname)
+		}
+	}
+	for _, r := range roots {
+		if err := cg.need(r); err != nil {
+			return nil, err
+		}
+	}
+	if err := cg.drain(); err != nil {
+		return nil, err
+	}
+
+	if opts.FoldIdenticalBodies {
+		cg.fold()
+	}
+	return cg.link()
+}
+
+type codegen struct {
+	p     *cpp.Program
+	opts  Options
+	infos map[string]*classInfo
+	funcs map[string]*symFunc
+	queue []string
+	// folded maps a folded-away function key to the canonical key that
+	// replaced it (identical-code folding).
+	folded map[string]string
+}
+
+// resolveKey follows the fold map to the canonical function key.
+func (cg *codegen) resolveKey(k string) string {
+	for {
+		c, ok := cg.folded[k]
+		if !ok {
+			return k
+		}
+		k = c
+	}
+}
+
+// need schedules function key for compilation.
+func (cg *codegen) need(key string) error {
+	if _, ok := cg.funcs[key]; ok {
+		return nil
+	}
+	cg.funcs[key] = nil // reserve
+	cg.queue = append(cg.queue, key)
+	return nil
+}
+
+// drain compiles queued functions until none remain.
+func (cg *codegen) drain() error {
+	for len(cg.queue) > 0 {
+		key := cg.queue[0]
+		cg.queue = cg.queue[1:]
+		f, err := cg.compileKey(key)
+		if err != nil {
+			return err
+		}
+		cg.funcs[key] = f
+	}
+	return nil
+}
+
+// compileKey compiles one function identified by its key.
+func (cg *codegen) compileKey(key string) (*symFunc, error) {
+	switch {
+	case key == "stub:purecall":
+		f := &symFunc{key: key, name: "_purecall"}
+		f.insts = append(f.insts,
+			symInst{inst: ir.Inst{Op: ir.OpMovImm, Rd: ir.RegThis}, br: -1},
+			symInst{inst: ir.Inst{Op: ir.OpCall}, imp: image.ImportAbort, br: -1},
+		)
+		f.insts = append(f.insts, symInst{inst: ir.Inst{Op: ir.OpJmp}, br: len(f.insts)})
+		return f, nil
+	case len(key) > 5 && key[:5] == "free:":
+		name := key[5:]
+		fn := cg.p.Func(name)
+		if fn == nil {
+			return nil, fmt.Errorf("compiler: missing free function %q", name)
+		}
+		e := cg.newEmitter(key, name)
+		for i, prm := range fn.Params {
+			if i >= ir.NumArgRegs {
+				return nil, fmt.Errorf("compiler: %s: too many parameters", name)
+			}
+			r, err := e.local(prm.Name)
+			if err != nil {
+				return nil, err
+			}
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: r, Rs: ir.ArgReg(i)}, br: -1})
+			e.varClass[prm.Name] = prm.Class
+		}
+		if err := e.stmts(fn.Body); err != nil {
+			return nil, fmt.Errorf("compiler: %s: %w", name, err)
+		}
+		e.finish()
+		return e.f, nil
+	case len(key) > 2 && key[:2] == "m:":
+		rest := key[2:]
+		sep := -1
+		for i := 0; i+1 < len(rest); i++ {
+			if rest[i] == ':' && rest[i+1] == ':' {
+				sep = i
+				break
+			}
+		}
+		if sep < 0 {
+			return nil, fmt.Errorf("compiler: malformed method key %q", key)
+		}
+		cls, mname := rest[:sep], rest[sep+2:]
+		c := cg.p.Class(cls)
+		if c == nil || c.Method(mname) == nil {
+			return nil, fmt.Errorf("compiler: missing method %s::%s", cls, mname)
+		}
+		m := c.Method(mname)
+		e := cg.newEmitter(key, cls+"::"+mname)
+		r, err := e.local("this")
+		if err != nil {
+			return nil, err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: r, Rs: ir.RegThis}, br: -1})
+		e.varClass["this"] = cls
+		if err := e.stmts(m.Body); err != nil {
+			return nil, fmt.Errorf("compiler: %s::%s: %w", cls, mname, err)
+		}
+		e.finish()
+		return e.f, nil
+	case len(key) > 5 && key[:5] == "ctor:":
+		cls := key[5:]
+		e := cg.newEmitter(key, cls+"::"+cls)
+		r, err := e.local("this")
+		if err != nil {
+			return nil, err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: r, Rs: ir.RegThis}, br: -1})
+		e.varClass["this"] = cls
+		if err := e.ctorChain(cls, r, true); err != nil {
+			return nil, err
+		}
+		e.finish()
+		return e.f, nil
+	case len(key) > 5 && key[:5] == "dtor:":
+		cls := key[5:]
+		e := cg.newEmitter(key, cls+"::~"+cls)
+		r, err := e.local("this")
+		if err != nil {
+			return nil, err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: r, Rs: ir.RegThis}, br: -1})
+		e.varClass["this"] = cls
+		if err := e.dtorChain(cls, r, true); err != nil {
+			return nil, err
+		}
+		e.finish()
+		return e.f, nil
+	}
+	return nil, fmt.Errorf("compiler: unknown function key %q", key)
+}
+
+// fnEmitter holds per-function codegen state.
+type fnEmitter struct {
+	cg       *codegen
+	f        *symFunc
+	vars     map[string]ir.Reg
+	varClass map[string]string
+	next     ir.Reg
+}
+
+func (cg *codegen) newEmitter(key, name string) *fnEmitter {
+	return &fnEmitter{
+		cg:       cg,
+		f:        &symFunc{key: key, name: name},
+		vars:     map[string]ir.Reg{},
+		varClass: map[string]string{},
+		next:     ir.RegTmp0,
+	}
+}
+
+func (e *fnEmitter) emit(si symInst) int {
+	e.f.insts = append(e.f.insts, si)
+	return len(e.f.insts) - 1
+}
+
+// local returns (allocating if needed) the register of a local variable.
+func (e *fnEmitter) local(name string) (ir.Reg, error) {
+	if r, ok := e.vars[name]; ok {
+		return r, nil
+	}
+	if e.next >= maxLocal {
+		return 0, fmt.Errorf("out of registers (too many locals)")
+	}
+	r := e.next
+	e.next++
+	e.vars[name] = r
+	return r, nil
+}
+
+// objReg resolves variable name to its register, requiring it to be an
+// object.
+func (e *fnEmitter) objReg(name string) (ir.Reg, string, error) {
+	r, ok := e.vars[name]
+	if !ok {
+		return 0, "", fmt.Errorf("undeclared variable %q", name)
+	}
+	cls := e.varClass[name]
+	if cls == "" {
+		return 0, "", fmt.Errorf("variable %q is not an object", name)
+	}
+	return r, cls, nil
+}
+
+// finish appends the function epilogue.
+func (e *fnEmitter) finish() {
+	e.emit(symInst{inst: ir.Inst{Op: ir.OpMovImm, Rd: ir.RegRet}, br: -1})
+	e.emit(symInst{inst: ir.Inst{Op: ir.OpRet}, br: -1})
+}
+
+// args moves call arguments into the argument registers.
+func (e *fnEmitter) args(as []cpp.Arg) error {
+	if len(as) > ir.NumArgRegs {
+		return fmt.Errorf("too many arguments (%d)", len(as))
+	}
+	for i, a := range as {
+		if a.Obj == "" {
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpMovImm, Rd: ir.ArgReg(i), Imm: 7}, br: -1})
+			continue
+		}
+		r, _, err := e.objReg(a.Obj)
+		if err != nil {
+			return err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.ArgReg(i), Rs: r}, br: -1})
+	}
+	return nil
+}
+
+// stmts lowers a statement list.
+func (e *fnEmitter) stmts(body []cpp.Stmt) error {
+	for _, s := range body {
+		if err := e.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *fnEmitter) stmt(s cpp.Stmt) error {
+	cg := e.cg
+	switch st := s.(type) {
+	case cpp.New:
+		dst, err := e.local(st.Dst)
+		if err != nil {
+			return err
+		}
+		e.varClass[st.Dst] = st.Class
+		// Clear stale receiver, allocate, bind.
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovImm, Rd: ir.RegThis}, br: -1})
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpCall}, imp: image.ImportAlloc, br: -1})
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: dst, Rs: ir.RegRet}, br: -1})
+		if cg.opts.InlineCtorAtNew {
+			return e.ctorChain(st.Class, dst, true)
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.RegThis, Rs: dst}, br: -1})
+		key := "ctor:" + st.Class
+		if err := cg.need(key); err != nil {
+			return err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpCall}, call: key, br: -1})
+		return nil
+
+	case cpp.VCall:
+		r, cls, err := e.objReg(st.Obj)
+		if err != nil {
+			return err
+		}
+		vptrOff, slotIdx, err := methodSlot(cg.infos, cls, st.Method)
+		if err != nil {
+			return err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpLoad, Rd: scrA, Rs: r, Off: int32(vptrOff)}, br: -1})
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpLoad, Rd: scrB, Rs: scrA, Off: int32(8 * slotIdx)}, br: -1})
+		if err := e.args(st.Args); err != nil {
+			return err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.RegThis, Rs: r}, br: -1})
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpCallInd, Rs: scrB}, br: -1})
+		return nil
+
+	case cpp.NVCall:
+		r, cls, err := e.objReg(st.Obj)
+		if err != nil {
+			return err
+		}
+		target := cls
+		if st.Class != "" {
+			target = st.Class
+		}
+		def := e.definerOf(target, st.Method)
+		if def == "" {
+			return fmt.Errorf("class %q has no method %q", target, st.Method)
+		}
+		if err := e.args(st.Args); err != nil {
+			return err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.RegThis, Rs: r}, br: -1})
+		key := "m:" + def + "::" + st.Method
+		if err := cg.need(key); err != nil {
+			return err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpCall}, call: key, br: -1})
+		return nil
+
+	case cpp.CallFunc:
+		if err := e.args(st.Args); err != nil {
+			return err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovImm, Rd: ir.RegThis}, br: -1})
+		key := "free:" + st.Name
+		if err := cg.need(key); err != nil {
+			return err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpCall}, call: key, br: -1})
+		return nil
+
+	case cpp.ReadField:
+		r, cls, err := e.objReg(st.Obj)
+		if err != nil {
+			return err
+		}
+		off, ok := cg.infos[cls].fieldOff[st.Field]
+		if !ok {
+			return fmt.Errorf("class %q has no field %q", cls, st.Field)
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpLoad, Rd: scrA, Rs: r, Off: int32(off)}, br: -1})
+		return nil
+
+	case cpp.WriteField:
+		r, cls, err := e.objReg(st.Obj)
+		if err != nil {
+			return err
+		}
+		off, ok := cg.infos[cls].fieldOff[st.Field]
+		if !ok {
+			return fmt.Errorf("class %q has no field %q", cls, st.Field)
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovImm, Rd: scrA, Imm: 7}, br: -1})
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpStore, Rd: r, Off: int32(off), Rs: scrA}, br: -1})
+		return nil
+
+	case cpp.Assign:
+		src, cls, err := e.objReg(st.Src)
+		if err != nil {
+			return err
+		}
+		dst, err := e.local(st.Dst)
+		if err != nil {
+			return err
+		}
+		e.varClass[st.Dst] = cls
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: dst, Rs: src}, br: -1})
+		return nil
+
+	case cpp.Return:
+		if st.Obj != "" {
+			r, _, err := e.objReg(st.Obj)
+			if err != nil {
+				return err
+			}
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.RegRet, Rs: r}, br: -1})
+		} else {
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpMovImm, Rd: ir.RegRet}, br: -1})
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpRet}, br: -1})
+		return nil
+
+	case cpp.If:
+		// Opaque condition; branch taken -> then, fallthrough -> else.
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpArith, Rd: scrC, Rs: scrC, Imm: 1}, br: -1})
+		brIdx := e.emit(symInst{inst: ir.Inst{Op: ir.OpBr, Rs: scrC}, br: -1})
+		if err := e.stmts(st.Else); err != nil {
+			return err
+		}
+		jmpIdx := e.emit(symInst{inst: ir.Inst{Op: ir.OpJmp}, br: -1})
+		e.f.insts[brIdx].br = len(e.f.insts)
+		if err := e.stmts(st.Then); err != nil {
+			return err
+		}
+		e.f.insts[jmpIdx].br = len(e.f.insts)
+		return nil
+
+	case cpp.Opaque:
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovImm, Rd: scrA, Imm: st.Seed}, br: -1})
+		return nil
+
+	case cpp.Loop:
+		head := len(e.f.insts)
+		if err := e.stmts(st.Body); err != nil {
+			return err
+		}
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpArith, Rd: scrC, Rs: scrC, Imm: 2}, br: -1})
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpBr, Rs: scrC}, br: head})
+		return nil
+	}
+	return fmt.Errorf("unknown statement %T", s)
+}
+
+// definerOf returns the nearest class along the chain of cls that declares
+// method name, or "".
+func (e *fnEmitter) definerOf(cls, name string) string {
+	p := e.cg.p
+	for c := p.Class(cls); c != nil; {
+		if c.Method(name) != nil {
+			return c.Name
+		}
+		for _, b := range c.Bases[min(1, len(c.Bases)):] {
+			if d := e.definerOf(b, name); d != "" {
+				return d
+			}
+		}
+		c = p.Class(c.PrimaryBase())
+	}
+	return ""
+}
+
+// ctorChain emits the constructor body of cls, operating on the object in
+// thisReg. storeVt reports whether this level's vtable-pointer store
+// survives: in a fully inlined chain with dead-store elision only the
+// most-derived store remains.
+func (e *fnEmitter) ctorChain(cls string, thisReg ir.Reg, storeVt bool) error {
+	return e.ctorChainForced(cls, thisReg, storeVt, false)
+}
+
+// ctorChainForced carries the forced-inline state down the ancestor chain:
+// when a class's parent ctor is inlined by a per-class decision, the whole
+// chain above it is inlined too, exactly as a real inliner would (exposing
+// a grandparent call would be a partial inline).
+func (e *fnEmitter) ctorChainForced(cls string, thisReg ir.Reg, storeVt, forced bool) error {
+	cg := e.cg
+	ci := cg.infos[cls]
+	if ci == nil {
+		return fmt.Errorf("unknown class %q", cls)
+	}
+	forceHere := forced || cg.opts.forcesInline(cls)
+	if pb := ci.cls.PrimaryBase(); pb != "" {
+		if cg.opts.InlineParentCtors || forceHere {
+			parentStore := storeVt && !cg.opts.ElideDeadVtableStores && !forceHere
+			if err := e.ctorChainForced(pb, thisReg, parentStore, forceHere); err != nil {
+				return err
+			}
+		} else {
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.RegThis, Rs: thisReg}, br: -1})
+			key := "ctor:" + pb
+			if err := cg.need(key); err != nil {
+				return err
+			}
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpCall}, call: key, br: -1})
+		}
+	}
+	if ci.emitted && storeVt {
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpLea, Rd: scrA}, lea: "vt:" + cls, br: -1})
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpStore, Rd: thisReg, Off: 0, Rs: scrA}, br: -1})
+	}
+	// Secondary subobjects: initialize the base's fields, then install the
+	// secondary vtable.
+	for _, b := range ci.secBases {
+		bi := cg.infos[b]
+		fields := sortedFieldOffsets(bi.fieldOff)
+		for _, fo := range fields {
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpMovImm, Rd: scrA}, br: -1})
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpStore, Rd: thisReg, Off: int32(ci.secOff[b] + fo), Rs: scrA}, br: -1})
+		}
+		if ci.emitted && storeVt {
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpLea, Rd: scrA}, lea: "vt2:" + cls + ":" + b, br: -1})
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpStore, Rd: thisReg, Off: int32(ci.secOff[b]), Rs: scrA}, br: -1})
+		}
+	}
+	for _, f := range ci.cls.Fields {
+		off := ci.fieldOff[f.Name]
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovImm, Rd: scrA}, br: -1})
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpStore, Rd: thisReg, Off: int32(off), Rs: scrA}, br: -1})
+	}
+	return nil
+}
+
+// dtorChain mirrors ctorChain for destructors: the class reinstalls its own
+// vtable, then destroys the parent part.
+func (e *fnEmitter) dtorChain(cls string, thisReg ir.Reg, storeVt bool) error {
+	return e.dtorChainForced(cls, thisReg, storeVt, false)
+}
+
+func (e *fnEmitter) dtorChainForced(cls string, thisReg ir.Reg, storeVt, forced bool) error {
+	cg := e.cg
+	ci := cg.infos[cls]
+	if ci == nil {
+		return fmt.Errorf("unknown class %q", cls)
+	}
+	forceHere := forced || cg.opts.forcesInline(cls)
+	if ci.emitted && storeVt {
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpLea, Rd: scrA}, lea: "vt:" + cls, br: -1})
+		e.emit(symInst{inst: ir.Inst{Op: ir.OpStore, Rd: thisReg, Off: 0, Rs: scrA}, br: -1})
+	}
+	if pb := ci.cls.PrimaryBase(); pb != "" {
+		if cg.opts.InlineParentCtors || forceHere {
+			parentStore := storeVt && !cg.opts.ElideDeadVtableStores && !forceHere
+			if err := e.dtorChainForced(pb, thisReg, parentStore, forceHere); err != nil {
+				return err
+			}
+		} else {
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.RegThis, Rs: thisReg}, br: -1})
+			key := "dtor:" + pb
+			if err := cg.need(key); err != nil {
+				return err
+			}
+			e.emit(symInst{inst: ir.Inst{Op: ir.OpCall}, call: key, br: -1})
+		}
+	}
+	return nil
+}
+
+func sortedFieldOffsets(m map[string]int) []int {
+	out := make([]int, 0, len(m))
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// fold performs identical-code folding: functions with structurally
+// identical bodies are merged and references rewritten, iterating to a
+// fixpoint (folding two leaves can make their callers identical).
+func (cg *codegen) fold() {
+	canon := map[string]string{} // key -> canonical key
+	resolve := func(k string) string {
+		for {
+			c, ok := canon[k]
+			if !ok {
+				return k
+			}
+			k = c
+		}
+	}
+	for iter := 0; iter < 10; iter++ {
+		sig := map[string]string{} // body signature -> canonical key
+		changed := false
+		keys := make([]string, 0, len(cg.funcs))
+		for k := range cg.funcs {
+			if resolve(k) == k {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			f := cg.funcs[k]
+			s := bodySignature(f, resolve)
+			if prev, ok := sig[s]; ok && prev != k {
+				canon[k] = prev
+				changed = true
+				continue
+			}
+			sig[s] = k
+		}
+		if !changed {
+			break
+		}
+	}
+	if len(canon) == 0 {
+		return
+	}
+	// Rewrite references and drop folded bodies.
+	for k, f := range cg.funcs {
+		if resolve(k) != k {
+			delete(cg.funcs, k)
+			continue
+		}
+		for i := range f.insts {
+			if f.insts[i].call != "" {
+				f.insts[i].call = resolve(f.insts[i].call)
+			}
+			if l := f.insts[i].lea; l != "" && (len(l) < 3 || (l[:3] != "vt:" && l[:4] != "vt2:")) {
+				f.insts[i].lea = resolve(l)
+			}
+		}
+	}
+	cg.folded = canon
+}
+
+// bodySignature renders a function body as a comparable string, resolving
+// callee keys through the current fold map.
+func bodySignature(f *symFunc, resolve func(string) string) string {
+	s := ""
+	for _, si := range f.insts {
+		call := si.call
+		if call != "" {
+			call = resolve(call)
+		}
+		s += fmt.Sprintf("%d/%d/%d/%d/%d|%s|%s|%s|%d;",
+			si.inst.Op, si.inst.Rd, si.inst.Rs, si.inst.Off, si.inst.Imm,
+			call, si.imp, si.lea, si.br)
+	}
+	return s
+}

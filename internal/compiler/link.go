@@ -1,0 +1,161 @@
+package compiler
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/image"
+	"repro/internal/ir"
+)
+
+// link lays out the compiled functions and vtables, resolves symbolic
+// operands, and produces the final image with ground-truth metadata.
+func (cg *codegen) link() (*image.Image, error) {
+	// Function layout: deterministic order by key.
+	keys := make([]string, 0, len(cg.funcs))
+	for k := range cg.funcs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fnAddr := map[string]uint64{}
+	addr := image.CodeBase
+	for _, k := range keys {
+		fnAddr[k] = addr
+		addr += uint64(len(cg.funcs[k].insts)) * ir.InstSize
+	}
+
+	// Import thunks.
+	imports := map[uint64]string{
+		image.ImportBase + 0:  image.ImportAlloc,
+		image.ImportBase + 16: image.ImportFree,
+		image.ImportBase + 32: image.ImportAbort,
+	}
+	importAddr := map[string]uint64{}
+	for a, n := range imports {
+		importAddr[n] = a
+	}
+
+	// Vtable layout: declaration order; one zero-word separator between
+	// tables (the slot where RTTI/offset-to-top would live in real ABIs).
+	vtAddr := map[string]uint64{}
+	type vtPlan struct {
+		key   string
+		slots []slot
+	}
+	var plans []vtPlan
+	for _, cname := range emittedClasses(cg.p, cg.infos) {
+		ci := cg.infos[cname]
+		plans = append(plans, vtPlan{key: "vt:" + cname, slots: ci.slots})
+		for _, b := range ci.secBases {
+			plans = append(plans, vtPlan{key: "vt2:" + cname + ":" + b, slots: ci.secSlots[b]})
+		}
+	}
+	raddr := image.RodataBase
+	for _, pl := range plans {
+		raddr += 8 // separator word
+		vtAddr[pl.key] = raddr
+		raddr += uint64(len(pl.slots)) * 8
+	}
+	rodata := make([]byte, raddr-image.RodataBase)
+	for _, pl := range plans {
+		base := vtAddr[pl.key] - image.RodataBase
+		for i, s := range pl.slots {
+			implKey := cg.resolveKey(s.impl)
+			a, ok := fnAddr[implKey]
+			if !ok {
+				return nil, fmt.Errorf("compiler: vtable %s slot %d references unemitted %q", pl.key, i, s.impl)
+			}
+			binary.LittleEndian.PutUint64(rodata[base+uint64(i)*8:], a)
+		}
+	}
+
+	// Resolve and encode function bodies.
+	var code []byte
+	entries := make([]uint64, 0, len(keys))
+	funcNames := map[uint64]string{}
+	for _, k := range keys {
+		f := cg.funcs[k]
+		entry := fnAddr[k]
+		entries = append(entries, entry)
+		funcNames[entry] = f.name
+		for i, si := range f.insts {
+			in := si.inst
+			switch {
+			case si.call != "":
+				a, ok := fnAddr[cg.resolveKey(si.call)]
+				if !ok {
+					return nil, fmt.Errorf("compiler: %s calls unemitted %q", k, si.call)
+				}
+				in.Imm = a
+			case si.imp != "":
+				a, ok := importAddr[si.imp]
+				if !ok {
+					return nil, fmt.Errorf("compiler: %s calls unknown import %q", k, si.imp)
+				}
+				in.Imm = a
+			case si.lea != "":
+				if a, ok := vtAddr[si.lea]; ok {
+					in.Imm = a
+				} else if a, ok := fnAddr[cg.resolveKey(si.lea)]; ok {
+					in.Imm = a
+				} else {
+					return nil, fmt.Errorf("compiler: %s takes address of unknown %q", k, si.lea)
+				}
+			case si.br >= 0:
+				if si.br > len(f.insts) {
+					return nil, fmt.Errorf("compiler: %s branch to %d out of range", k, si.br)
+				}
+				in.Imm = entry + uint64(si.br)*ir.InstSize
+			}
+			var buf [ir.InstSize]byte
+			in.Encode(buf[:])
+			code = append(code, buf[:]...)
+			_ = i
+		}
+	}
+
+	// Ground truth metadata: the induced (post-optimization) hierarchy.
+	meta := &image.Metadata{FuncNames: funcNames, SourceParents: map[string]string{}}
+	prim, _ := cg.p.SourceHierarchy()
+	for c, b := range prim {
+		meta.SourceParents[c] = b
+	}
+	for _, cname := range emittedClasses(cg.p, cg.infos) {
+		ci := cg.infos[cname]
+		tm := image.TypeMeta{Name: cname, VTable: vtAddr["vt:"+cname]}
+		if ip := ci.inducedParent; ip != "" {
+			tm.Parent = vtAddr["vt:"+ip]
+		}
+		for _, sp := range ci.inducedSecondary {
+			if a, ok := vtAddr["vt:"+sp]; ok {
+				tm.SecondaryParents = append(tm.SecondaryParents, a)
+			}
+		}
+		meta.Types = append(meta.Types, tm)
+		for _, b := range ci.secBases {
+			stm := image.TypeMeta{
+				Name:      cname,
+				VTable:    vtAddr["vt2:"+cname+":"+b],
+				Secondary: true,
+			}
+			if ip := nearestEmitted(cg.p, cg.infos, b); ip != "" {
+				stm.Parent = vtAddr["vt:"+ip]
+			}
+			meta.Types = append(meta.Types, stm)
+		}
+	}
+
+	img := &image.Image{
+		Name:    cg.p.Name,
+		Code:    code,
+		Rodata:  rodata,
+		Entries: entries,
+		Imports: imports,
+		Meta:    meta,
+	}
+	if err := img.Validate(); err != nil {
+		return nil, fmt.Errorf("compiler: produced invalid image: %w", err)
+	}
+	return img, nil
+}

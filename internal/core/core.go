@@ -1,0 +1,433 @@
+// Package core implements Rock's end-to-end pipeline (§4): given a
+// stripped binary image it discovers the binary types (vtables), runs the
+// structural analysis to partition them into families and prune impossible
+// parents, extracts object tracelets, trains one statistical language model
+// per type, weighs every surviving candidate child→parent edge with the
+// Kullback–Leibler divergence between the types' SLMs, and finds the most
+// likely hierarchy per family as a minimum-weight spanning arborescence,
+// handling co-optimal solutions with the paper's majority-vote heuristic.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arborescence"
+	"repro/internal/disasm"
+	"repro/internal/hierarchy"
+	"repro/internal/image"
+	"repro/internal/ir"
+	"repro/internal/objtrace"
+	"repro/internal/slm"
+	"repro/internal/structural"
+	"repro/internal/vtable"
+)
+
+// Config parameterizes the pipeline.
+type Config struct {
+	// UseSLM enables the behavioral analysis. When false only the
+	// structural possibleParent relation is produced (the paper's
+	// "without SLMs" baseline).
+	UseSLM bool
+	// SLMDepth is the maximum SLM order D (the paper's example uses 2).
+	SLMDepth int
+	// Metric selects the pairwise distance (DKL by default; the JS variants
+	// exist for the §6.4 ablation).
+	Metric slm.Metric
+	// Trace bounds the tracelet extraction.
+	Trace objtrace.Config
+	// Structural toggles individual structural heuristics.
+	Structural structural.Config
+	// RootWeightFactor scales the virtual-root edge weight relative to the
+	// largest pairwise distance in a family; it must exceed 1 so that being
+	// a derived type is always preferred (Heuristic 4.1).
+	RootWeightFactor float64
+	// EnumLimit caps the number of co-optimal arborescences enumerated per
+	// family.
+	EnumLimit int
+	// EnumEps is the weight tolerance within which two arborescences count
+	// as equally minimal.
+	EnumEps float64
+}
+
+// DefaultConfig returns the paper-calibrated configuration.
+func DefaultConfig() Config {
+	return Config{
+		UseSLM:           true,
+		SLMDepth:         2,
+		Metric:           slm.MetricKL,
+		Trace:            objtrace.DefaultConfig(),
+		RootWeightFactor: 8,
+		EnumLimit:        64,
+		EnumEps:          1e-9,
+	}
+}
+
+// FamilyResult is the per-family outcome.
+type FamilyResult struct {
+	// Types lists the family members (vtable addresses), ascending.
+	Types []uint64
+	// Arbs holds the hierarchies that survive majority voting, as
+	// child→parent maps; types absent from a map are roots. At least one
+	// entry when the behavioral analysis ran.
+	Arbs []map[uint64]uint64
+	// Weight is the minimum arborescence weight.
+	Weight float64
+}
+
+// Result is the pipeline output.
+type Result struct {
+	Image      *image.Image
+	Funcs      []*ir.Function
+	VTables    []*vtable.VTable
+	Structural *structural.Result
+	Tracelets  *objtrace.Result
+	// Models maps each type to its trained SLM (UseSLM only).
+	Models map[uint64]*slm.Model
+	// Dist holds the pairwise distances computed for family-internal
+	// ordered pairs [parent, child] (UseSLM only).
+	Dist map[[2]uint64]float64
+	// Families holds the per-family arborescence outcomes (UseSLM only).
+	Families []FamilyResult
+	// Hierarchy is the reconstructed forest using the first surviving
+	// arborescence of each family (UseSLM only).
+	Hierarchy *hierarchy.Forest
+	// MultiParents maps multiple-inheritance types to their chosen parent
+	// sets (§5.3): as many parents as vtable installs were observed on
+	// their instances, ranked by distance.
+	MultiParents map[uint64][]uint64
+	// Alphabet is the interned event alphabet (symbol -> event).
+	Alphabet []objtrace.Event
+}
+
+// TypeNamer returns a display-name function backed by metadata when
+// available (names are never used by the analysis itself).
+func TypeNamer(meta *image.Metadata) func(uint64) string {
+	return func(vt uint64) string {
+		if meta != nil {
+			if tm := meta.TypeByVTable(vt); tm != nil {
+				if tm.Secondary {
+					return tm.Name + "(secondary)"
+				}
+				return tm.Name
+			}
+		}
+		return fmt.Sprintf("vt_0x%x", vt)
+	}
+}
+
+// Analyze runs the full pipeline on a stripped image.
+func Analyze(img *image.Image, cfg Config) (*Result, error) {
+	if img.Meta != nil {
+		// The analysis must never see ground truth; insist on a stripped
+		// image rather than silently ignoring the metadata.
+		return nil, fmt.Errorf("core: refusing to analyze a non-stripped image (call Strip first)")
+	}
+	if cfg.SLMDepth <= 0 {
+		cfg.SLMDepth = 2
+	}
+	if cfg.RootWeightFactor <= 1 {
+		cfg.RootWeightFactor = 8
+	}
+	if cfg.EnumLimit <= 0 {
+		cfg.EnumLimit = 64
+	}
+	if cfg.EnumEps <= 0 {
+		cfg.EnumEps = 1e-9
+	}
+
+	fns, err := disasm.All(img)
+	if err != nil {
+		return nil, fmt.Errorf("core: disassembly failed: %w", err)
+	}
+	vts := vtable.Discover(img, fns)
+	tr := objtrace.Extract(img, fns, vts, cfg.Trace)
+	st := structural.Analyze(img, fns, vts, tr, cfg.Structural)
+
+	res := &Result{
+		Image:      img,
+		Funcs:      fns,
+		VTables:    vts,
+		Structural: st,
+		Tracelets:  tr,
+	}
+	if !cfg.UseSLM {
+		return res, nil
+	}
+
+	res.internAlphabet()
+	res.trainModels(cfg)
+	if err := res.buildHierarchy(cfg); err != nil {
+		return nil, err
+	}
+	res.chooseMultiParents()
+	return res, nil
+}
+
+// internAlphabet assigns integer symbols to every distinct event observed
+// anywhere in the binary, so that all SLMs share one alphabet.
+func (r *Result) internAlphabet() {
+	seen := map[objtrace.Event]bool{}
+	var events []objtrace.Event
+	types := make([]uint64, 0, len(r.Tracelets.PerType))
+	for t := range r.Tracelets.PerType {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, t := range types {
+		for _, tl := range r.Tracelets.PerType[t] {
+			for _, e := range tl {
+				if !seen[e] {
+					seen[e] = true
+					events = append(events, e)
+				}
+			}
+		}
+	}
+	r.Alphabet = events
+}
+
+// symIndex builds the event -> symbol map.
+func (r *Result) symIndex() map[objtrace.Event]int {
+	idx := make(map[objtrace.Event]int, len(r.Alphabet))
+	for i, e := range r.Alphabet {
+		idx[e] = i
+	}
+	return idx
+}
+
+// SymbolName renders symbol s in the paper's event notation.
+func (r *Result) SymbolName(s int) string {
+	if s >= 0 && s < len(r.Alphabet) {
+		return r.Alphabet[s].String()
+	}
+	return fmt.Sprintf("sym%d", s)
+}
+
+// encode converts a tracelet to interned symbols.
+func encode(idx map[objtrace.Event]int, tl objtrace.Tracelet) []int {
+	out := make([]int, len(tl))
+	for i, e := range tl {
+		out[i] = idx[e]
+	}
+	return out
+}
+
+// trainModels trains one SLM per discovered type on TT(t).
+func (r *Result) trainModels(cfg Config) {
+	idx := r.symIndex()
+	alpha := len(r.Alphabet)
+	if alpha == 0 {
+		alpha = 1
+	}
+	r.Models = make(map[uint64]*slm.Model, len(r.VTables))
+	for _, v := range r.VTables {
+		m := slm.New(cfg.SLMDepth, alpha)
+		for _, tl := range r.Tracelets.PerType[v.Addr] {
+			m.Train(encode(idx, tl))
+		}
+		r.Models[v.Addr] = m
+	}
+}
+
+// typeWords returns the distinct encoded tracelets of a type.
+func (r *Result) typeWords(idx map[objtrace.Event]int, t uint64) [][]int {
+	seen := map[string]bool{}
+	var out [][]int
+	for _, tl := range r.Tracelets.PerType[t] {
+		k := tl.String()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, encode(idx, tl))
+	}
+	return out
+}
+
+// familyWords returns the union of distinct tracelets across all family
+// members. Every pairwise distance within the family is measured over this
+// one word set: the algorithm only needs a ranking over candidate parents
+// (Remark 4.1), and ranking distances measured over differing word sets
+// would not be comparable.
+func (r *Result) familyWords(idx map[objtrace.Event]int, fam []uint64) [][]int {
+	seen := map[string]bool{}
+	var words [][]int
+	for _, t := range fam {
+		for _, w := range r.typeWords(idx, t) {
+			k := fmt.Sprint(w)
+			if !seen[k] {
+				seen[k] = true
+				words = append(words, w)
+			}
+		}
+	}
+	return words
+}
+
+// buildHierarchy runs the per-family arborescence step.
+func (r *Result) buildHierarchy(cfg Config) error {
+	idx := r.symIndex()
+	r.Dist = map[[2]uint64]float64{}
+
+	var all []uint64
+	for _, v := range r.VTables {
+		all = append(all, v.Addr)
+	}
+	r.Hierarchy = hierarchy.NewForest(all)
+
+	for _, fam := range r.Structural.Families {
+		fr := FamilyResult{Types: append([]uint64(nil), fam...)}
+		if len(fam) == 1 {
+			fr.Arbs = []map[uint64]uint64{{}}
+			r.Families = append(r.Families, fr)
+			continue
+		}
+		// Pairwise distances for every family-internal ordered pair (kept
+		// for reporting) and the candidate edge list, all over the family's
+		// shared word set.
+		words := r.familyWords(idx, fam)
+		maxD := 0.0
+		for _, p := range fam {
+			for _, c := range fam {
+				if p == c {
+					continue
+				}
+				d := slm.Distance(cfg.Metric, r.Models[p], r.Models[c], words)
+				r.Dist[[2]uint64{p, c}] = d
+				if d > maxD {
+					maxD = d
+				}
+			}
+		}
+		// Graph: node 0 is the virtual root; types follow in family order.
+		nodeOf := map[uint64]int{}
+		for i, t := range fam {
+			nodeOf[t] = i + 1
+		}
+		rootW := maxD*cfg.RootWeightFactor + 1
+		var edges []arborescence.Edge
+		for i := range fam {
+			edges = append(edges, arborescence.Edge{From: 0, To: i + 1, W: rootW})
+		}
+		for _, c := range fam {
+			for _, p := range r.Structural.PossibleParents[c] {
+				edges = append(edges, arborescence.Edge{
+					From: nodeOf[p], To: nodeOf[c], W: r.Dist[[2]uint64{p, c}],
+				})
+			}
+		}
+		arbs, w, err := arborescence.EnumerateMin(len(fam)+1, 0, edges, cfg.EnumEps, cfg.EnumLimit)
+		if err != nil {
+			return fmt.Errorf("core: family %v: %w", fam, err)
+		}
+		arbs = arborescence.MajorityVote(arbs)
+		fr.Weight = w
+		for _, a := range arbs {
+			pm := map[uint64]uint64{}
+			for i, t := range fam {
+				if p := a[i+1]; p > 0 {
+					pm[t] = fam[p-1]
+				}
+			}
+			fr.Arbs = append(fr.Arbs, pm)
+		}
+		r.Families = append(r.Families, fr)
+		for c, p := range fr.Arbs[0] {
+			if err := r.Hierarchy.SetParent(c, p); err != nil {
+				return fmt.Errorf("core: building forest: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// chooseMultiParents implements §5.3: a type whose instances received X
+// vtable installs has X parents; the primary parent comes from the
+// arborescence and the remaining slots are filled with the next most likely
+// candidates by distance.
+func (r *Result) chooseMultiParents() {
+	r.MultiParents = map[uint64][]uint64{}
+	// Secondary subobject vtables are synthetic types: they carry evidence
+	// (their neighbors in the forest are the type's additional ancestors)
+	// but are never themselves reported as parents.
+	isSecondary := map[uint64]bool{}
+	for _, secs := range r.Structural.SecondaryInstalls {
+		for _, s := range secs {
+			isSecondary[s] = true
+		}
+	}
+	// resolve walks up from t to the nearest non-secondary proper ancestor.
+	resolve := func(t uint64) (uint64, bool) {
+		for {
+			p, ok := r.Hierarchy.Parent(t)
+			if !ok {
+				return 0, false
+			}
+			if !isSecondary[p] {
+				return p, true
+			}
+			t = p
+		}
+	}
+	for t, secs := range r.Structural.SecondaryInstalls {
+		want := 1 + len(secs)
+		var parents []uint64
+		add := func(p uint64) {
+			if p == t || isSecondary[p] {
+				return
+			}
+			for _, q := range parents {
+				if q == p {
+					return
+				}
+			}
+			parents = append(parents, p)
+		}
+		if p, ok := resolve(t); ok {
+			add(p)
+		}
+		// Each secondary subobject table sits next to the base it was
+		// copied from; its resolved ancestor is one of t's parents.
+		for _, s := range secs {
+			if sp, ok := resolve(s); ok {
+				add(sp)
+			}
+		}
+		// Fill any remaining slots with the most likely candidates by
+		// distance (§5.3: "we will choose the X most likely parents").
+		type cand struct {
+			p uint64
+			d float64
+		}
+		var cands []cand
+		for _, p := range r.Structural.PossibleParents[t] {
+			cands = append(cands, cand{p, r.Dist[[2]uint64{p, t}]})
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].d != cands[j].d {
+				return cands[i].d < cands[j].d
+			}
+			return cands[i].p < cands[j].p
+		})
+		for _, c := range cands {
+			if len(parents) >= want {
+				break
+			}
+			add(c.p)
+		}
+		if len(parents) > 1 {
+			r.MultiParents[t] = parents
+		}
+	}
+}
+
+// WithoutSLMSuccessors returns the successor sets implied by the structural
+// possibleParent relation alone (the §6.4 "Without SLMs" column).
+func (r *Result) WithoutSLMSuccessors() map[uint64]map[uint64]bool {
+	var types []uint64
+	for _, v := range r.VTables {
+		types = append(types, v.Addr)
+	}
+	return hierarchy.PossibleParentSuccessors(r.Structural.PossibleParents, types)
+}

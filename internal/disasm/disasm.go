@@ -1,0 +1,76 @@
+// Package disasm decodes the code section of a binary image back into IR
+// functions. Function boundaries come from the image's entry table; the
+// paper treats boundary identification as an orthogonal solved problem
+// (ByteWeight et al.), so the loader provides it.
+package disasm
+
+import (
+	"fmt"
+
+	"repro/internal/image"
+	"repro/internal/ir"
+)
+
+// Function decodes the function entered at entry.
+func Function(img *image.Image, entry uint64) (*ir.Function, error) {
+	start, end, err := img.FuncBounds(entry)
+	if err != nil {
+		return nil, err
+	}
+	if (end-start)%ir.InstSize != 0 {
+		return nil, fmt.Errorf("disasm: function at 0x%x has ragged size %d", entry, end-start)
+	}
+	f := &ir.Function{Entry: entry}
+	for a := start; a < end; a += ir.InstSize {
+		off := a - image.CodeBase
+		in, err := ir.Decode(img.Code[off : off+ir.InstSize])
+		if err != nil {
+			return nil, fmt.Errorf("disasm: at 0x%x: %w", a, err)
+		}
+		f.Insts = append(f.Insts, in)
+	}
+	return f, nil
+}
+
+// All decodes every function in the image, in entry order.
+func All(img *image.Image) ([]*ir.Function, error) {
+	out := make([]*ir.Function, 0, len(img.Entries))
+	for _, e := range img.Entries {
+		f, err := Function(img, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// CodeRefs scans decoded functions for absolute references into the rodata
+// section (address-formation instructions), returning the referenced
+// addresses in ascending order without duplicates. This is how candidate
+// vtable locations are found, mirroring how real tools follow relocations.
+func CodeRefs(img *image.Image, fns []*ir.Function) []uint64 {
+	seen := map[uint64]bool{}
+	var out []uint64
+	for _, f := range fns {
+		for _, in := range f.Insts {
+			if in.Op != ir.OpLea && in.Op != ir.OpMovImm {
+				continue
+			}
+			if img.InRodata(in.Imm) && !seen[in.Imm] {
+				seen[in.Imm] = true
+				out = append(out, in.Imm)
+			}
+		}
+	}
+	sortU64(out)
+	return out
+}
+
+func sortU64(s []uint64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package disasm
+
+import (
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/ir"
+)
+
+func codeOf(insts ...ir.Inst) []byte {
+	var out []byte
+	for _, in := range insts {
+		var b [ir.InstSize]byte
+		in.Encode(b[:])
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+func TestFunctionDecoding(t *testing.T) {
+	img := &image.Image{
+		Name: "t",
+		Code: codeOf(
+			ir.Inst{Op: ir.OpMovImm, Rd: 8, Imm: 1},
+			ir.Inst{Op: ir.OpRet},
+			ir.Inst{Op: ir.OpNop},
+			ir.Inst{Op: ir.OpRet},
+		),
+		Entries: []uint64{image.CodeBase, image.CodeBase + 2*ir.InstSize},
+		Imports: map[uint64]string{},
+	}
+	fns, err := All(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 2 || len(fns[0].Insts) != 2 || len(fns[1].Insts) != 2 {
+		t.Fatalf("decoded %v", fns)
+	}
+	if fns[0].Insts[0].Op != ir.OpMovImm || fns[1].Insts[0].Op != ir.OpNop {
+		t.Error("instruction content wrong")
+	}
+	if _, err := Function(img, image.CodeBase+ir.InstSize); err == nil {
+		t.Error("non-entry address accepted")
+	}
+}
+
+func TestCodeRefsFindsRodataReferences(t *testing.T) {
+	target := image.RodataBase + 16
+	img := &image.Image{
+		Name: "t",
+		Code: codeOf(
+			ir.Inst{Op: ir.OpLea, Rd: 8, Imm: target},
+			ir.Inst{Op: ir.OpLea, Rd: 9, Imm: target}, // duplicate
+			ir.Inst{Op: ir.OpMovImm, Rd: 10, Imm: 12345},
+			ir.Inst{Op: ir.OpRet},
+		),
+		Rodata:  make([]byte, 64),
+		Entries: []uint64{image.CodeBase},
+		Imports: map[uint64]string{},
+	}
+	fns, err := All(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := CodeRefs(img, fns)
+	if len(refs) != 1 || refs[0] != target {
+		t.Fatalf("refs = %v, want [%#x]", refs, target)
+	}
+}

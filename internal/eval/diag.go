@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// Diagnose renders a detailed per-benchmark report: families, surviving
+// candidates, reconstructed vs ground-truth parents, and pairwise
+// distances, all with metadata names. Used by tests and cmd/rockbench to
+// understand where a benchmark's errors come from.
+func Diagnose(b *bench.Benchmark) (string, error) {
+	img, meta, err := b.Build()
+	if err != nil {
+		return "", err
+	}
+	res, err := core.Analyze(img, core.DefaultConfig())
+	if err != nil {
+		return "", err
+	}
+	name := core.TypeNamer(meta)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", b.Name)
+	gt, err := GroundTruthForest(meta)
+	if err != nil {
+		return "", err
+	}
+	for i, fam := range res.Structural.Families {
+		fmt.Fprintf(&sb, "family %d:\n", i)
+		for _, t := range fam {
+			var cands []string
+			for _, p := range res.Structural.PossibleParents[t] {
+				cands = append(cands, name(p))
+			}
+			gp := "-"
+			if p, ok := gt.Parent(t); ok {
+				gp = name(p)
+			}
+			hp := "-"
+			if res.Hierarchy != nil {
+				if p, ok := res.Hierarchy.Parent(t); ok {
+					hp = name(p)
+				}
+			}
+			mark := " "
+			if gp != hp {
+				mark = "*"
+			}
+			fmt.Fprintf(&sb, "  %s %-28s gt=%-24s got=%-24s cands=[%s]\n",
+				mark, name(t), gp, hp, strings.Join(cands, " "))
+		}
+	}
+	// Distances for multi-candidate types.
+	var pairs [][2]uint64
+	for pc := range res.Dist {
+		pairs = append(pairs, pc)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][1] != pairs[j][1] {
+			return pairs[i][1] < pairs[j][1]
+		}
+		return pairs[i][0] < pairs[j][0]
+	})
+	for _, pc := range pairs {
+		if len(res.Structural.PossibleParents[pc[1]]) > 1 {
+			fmt.Fprintf(&sb, "  D(%s || %s) = %.4f\n", name(pc[0]), name(pc[1]), res.Dist[pc])
+		}
+	}
+	return sb.String(), nil
+}

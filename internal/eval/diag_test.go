@@ -1,0 +1,85 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/slm"
+)
+
+func TestDiagnoseRendersFamiliesAndMistakes(t *testing.T) {
+	s, err := Diagnose(bench.ByName("tinyserver"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"family 0:", "TcpServer", "TimerTask", "D("} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnosis missing %q:\n%s", want, s)
+		}
+	}
+	// The engineered mistake must be flagged with a '*'.
+	if !strings.Contains(s, "* TimerTask") {
+		t.Errorf("TimerTask misplacement not flagged:\n%s", s)
+	}
+}
+
+func TestRunWithConfigMetricSwap(t *testing.T) {
+	b := bench.ByName("echoparams")
+	cfg := core.DefaultConfig()
+	cfg.Metric = slm.MetricJSDivergence
+	row, err := RunWithConfig(b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The JS variants lose the asymmetry; on the chain benchmark they must
+	// not beat DKL's exact recovery.
+	klRow, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if klRow.WithMissing+klRow.WithAdded > row.WithMissing+row.WithAdded {
+		t.Errorf("DKL (%v/%v) should be at least as good as JS (%v/%v)",
+			klRow.WithMissing, klRow.WithAdded, row.WithMissing, row.WithAdded)
+	}
+}
+
+func TestGroundTruthForestExcludesSecondaryTables(t *testing.T) {
+	img, err := buildMI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := GroundTruthForest(img.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tm := range img.Meta.Types {
+		if tm.Secondary && gt.Has(tm.VTable) {
+			t.Errorf("secondary table %#x in ground-truth forest", tm.VTable)
+		}
+		if !tm.Secondary && !gt.Has(tm.VTable) {
+			t.Errorf("primary table %#x missing from ground-truth forest", tm.VTable)
+		}
+	}
+}
+
+func TestScoreUsesWorstCoOptimal(t *testing.T) {
+	// td_unittest: the two-way splice direction is ambiguous in principle;
+	// Score must report a single consistent worst case (added exactly 1).
+	b := bench.ByName("td_unittest")
+	row, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.WithAdded != 0.5 {
+		t.Errorf("worst-case added = %v, want 0.5 (one spurious successor over two types)", row.WithAdded)
+	}
+}
+
+// buildMI compiles the multiple-inheritance example with metadata.
+func buildMI() (*image.Image, error) {
+	return compiler.Compile(bench.MultipleInheritance(), compiler.DefaultOptions())
+}

@@ -1,0 +1,118 @@
+package image
+
+import (
+	"testing"
+)
+
+func sampleImage() *Image {
+	return &Image{
+		Name:    "sample",
+		Code:    make([]byte, 64),
+		Rodata:  []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		Entries: []uint64{CodeBase, CodeBase + 32},
+		Imports: map[uint64]string{ImportBase: ImportAlloc, ImportBase + 16: ImportAbort},
+		Meta: &Metadata{
+			Types: []TypeMeta{
+				{Name: "A", VTable: RodataBase},
+				{Name: "B", VTable: RodataBase + 8, Parent: RodataBase},
+			},
+			FuncNames:     map[uint64]string{CodeBase: "f"},
+			SourceParents: map[string]string{"B": "A"},
+		},
+	}
+}
+
+func TestMarshalLoadRoundTrip(t *testing.T) {
+	img := sampleImage()
+	data, err := img.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != img.Name || len(got.Code) != len(img.Code) || len(got.Entries) != 2 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Meta == nil || len(got.Meta.Types) != 2 || got.Meta.Types[1].Parent != RodataBase {
+		t.Fatalf("metadata lost: %+v", got.Meta)
+	}
+	if got.Imports[ImportBase] != ImportAlloc {
+		t.Fatal("imports lost")
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	img := sampleImage()
+	data, _ := img.Marshal()
+	if _, err := Load(data[:8]); err == nil {
+		t.Error("truncated image accepted")
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Load(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestStripRemovesGroundTruth(t *testing.T) {
+	img := sampleImage()
+	s := img.Strip()
+	if s.Meta != nil {
+		t.Fatal("Strip left metadata")
+	}
+	if img.Meta == nil {
+		t.Fatal("Strip mutated the original")
+	}
+	// Mutating the stripped copy must not touch the original.
+	s.Code[0] = 0xff
+	if img.Code[0] == 0xff {
+		t.Fatal("Strip shares code storage")
+	}
+}
+
+func TestFuncBoundsAndRanges(t *testing.T) {
+	img := sampleImage()
+	start, end, err := img.FuncBounds(CodeBase)
+	if err != nil || start != CodeBase || end != CodeBase+32 {
+		t.Fatalf("bounds of first function: %x..%x err=%v", start, end, err)
+	}
+	_, end, err = img.FuncBounds(CodeBase + 32)
+	if err != nil || end != CodeBase+64 {
+		t.Fatalf("last function must end at code end, got %x err=%v", end, err)
+	}
+	if _, _, err := img.FuncBounds(CodeBase + 16); err == nil {
+		t.Error("non-entry accepted")
+	}
+	if !img.InCode(CodeBase) || img.InCode(CodeBase+64) {
+		t.Error("InCode range wrong")
+	}
+	if w, ok := img.ReadRodataWord(RodataBase); !ok || w == 0 {
+		t.Error("ReadRodataWord failed")
+	}
+	if _, ok := img.ReadRodataWord(RodataBase + 8); !ok {
+		t.Error("read of last full word failed")
+	}
+	if _, ok := img.ReadRodataWord(RodataBase + 16); ok {
+		t.Error("out-of-range read succeeded")
+	}
+}
+
+func TestValidateCatchesBadEntries(t *testing.T) {
+	img := sampleImage()
+	img.Entries = []uint64{CodeBase + 8} // unaligned
+	if err := img.Validate(); err == nil {
+		t.Error("unaligned entry accepted")
+	}
+	img = sampleImage()
+	img.Entries = []uint64{CodeBase + 9999}
+	if err := img.Validate(); err == nil {
+		t.Error("out-of-code entry accepted")
+	}
+	img = sampleImage()
+	img.Code = img.Code[:63]
+	if err := img.Validate(); err == nil {
+		t.Error("ragged code section accepted")
+	}
+}

@@ -1,0 +1,558 @@
+// Package objtrace statically extracts object tracelets from a stripped
+// binary image (§3.2 of the paper). An intra-procedural symbolic execution
+// runs each function separately, tracking symbolic object values; objects
+// are identified by vtable-pointer installs (object initialization or
+// destruction) and by the `this` pointer of virtual functions. The events
+// recorded per object are exactly those of Table 1:
+//
+//	C(i)    call to a virtual function at slot i of the object's vtable
+//	R(i)    read from a field at offset i of the object
+//	W(i)    write to a field at offset i of the object
+//	this    object passed as the receiver to a function
+//	Arg(i)  object passed as i-th argument to a function
+//	ret     object returned from the function
+//	call(f) a call to a concrete function f the object participates in
+//
+// Event sequences are split into tracelets of bounded length (up to 7 in
+// the paper's experiments); TT(t) is the union of tracelets of all objects
+// of type t. The extractor also records the structural observations the
+// §5 analysis needs: ordered vtable installs per object and direct calls
+// made with an object as receiver (constructor-chain evidence).
+package objtrace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/image"
+	"repro/internal/ir"
+	"repro/internal/vtable"
+)
+
+// EventKind enumerates the Table 1 event alphabet.
+type EventKind uint8
+
+// Event kinds.
+const (
+	EvCall  EventKind = iota // C(i)
+	EvRead                   // R(i)
+	EvWrite                  // W(i)
+	EvThis                   // this
+	EvArg                    // Arg(i)
+	EvRet                    // ret
+	EvCallF                  // call(f)
+)
+
+// Event is a single tracked event. N holds the slot index (EvCall), field
+// offset (EvRead/EvWrite), argument index (EvArg), or callee address
+// (EvCallF); it is zero for EvThis and EvRet.
+type Event struct {
+	Kind EventKind
+	N    uint64
+}
+
+// String renders the event in the paper's notation.
+func (e Event) String() string {
+	switch e.Kind {
+	case EvCall:
+		return fmt.Sprintf("C(%d)", e.N)
+	case EvRead:
+		return fmt.Sprintf("R(%d)", e.N)
+	case EvWrite:
+		return fmt.Sprintf("W(%d)", e.N)
+	case EvThis:
+		return "this"
+	case EvArg:
+		return fmt.Sprintf("Arg(%d)", e.N)
+	case EvRet:
+		return "ret"
+	case EvCallF:
+		return fmt.Sprintf("call(0x%x)", e.N)
+	}
+	return "?"
+}
+
+// Tracelet is a bounded-length event sequence.
+type Tracelet []Event
+
+// String renders the tracelet as "e1; e2; ...".
+func (t Tracelet) String() string {
+	s := ""
+	for i, e := range t {
+		if i > 0 {
+			s += "; "
+		}
+		s += e.String()
+	}
+	return s
+}
+
+// StructEvent is a structural observation on one object: a vtable install
+// (Install=true: VT stored at object offset Off) or a direct call with the
+// object as receiver (Callee).
+type StructEvent struct {
+	Install bool
+	Off     int32
+	VT      uint64
+	Callee  uint64
+}
+
+// ObjStruct is the ordered structural observation sequence of one abstract
+// object within one function.
+type ObjStruct struct {
+	// Fn is the entry address of the observing function.
+	Fn uint64
+	// EntryThis marks the object that arrived as the function's receiver.
+	EntryThis bool
+	// Events in program order along one execution path.
+	Events []StructEvent
+}
+
+// Config bounds the symbolic execution.
+type Config struct {
+	// MaxPaths caps explored paths per function.
+	MaxPaths int
+	// MaxSteps caps instructions per path.
+	MaxSteps int
+	// MaxUnroll caps how many times each conditional back-edge may be taken
+	// on one path.
+	MaxUnroll int
+	// Window is the tracelet length bound (the paper uses 7).
+	Window int
+	// MaxTraceLen caps the raw per-object event sequence length.
+	MaxTraceLen int
+}
+
+// DefaultConfig returns the paper-calibrated bounds.
+func DefaultConfig() Config {
+	return Config{MaxPaths: 64, MaxSteps: 512, MaxUnroll: 2, Window: 7, MaxTraceLen: 128}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxPaths <= 0 {
+		c.MaxPaths = d.MaxPaths
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = d.MaxSteps
+	}
+	if c.MaxUnroll <= 0 {
+		c.MaxUnroll = d.MaxUnroll
+	}
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.MaxTraceLen <= 0 {
+		c.MaxTraceLen = d.MaxTraceLen
+	}
+	return c
+}
+
+// Result is the extractor output.
+type Result struct {
+	// PerType maps vtable address to the tracelet multiset TT(t).
+	PerType map[uint64][]Tracelet
+	// RawPerType maps vtable address to the deduplicated pre-windowing
+	// event sequences (Fig. 7 material).
+	RawPerType map[uint64][][]Event
+	// Structs are the structural observations for §5.
+	Structs []ObjStruct
+	// FnVTables maps function entry to the vtables containing it.
+	FnVTables map[uint64][]uint64
+}
+
+// Extract runs the symbolic execution over every function of the image.
+func Extract(img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		PerType:    map[uint64][]Tracelet{},
+		RawPerType: map[uint64][][]Event{},
+		FnVTables:  map[uint64][]uint64{},
+	}
+	vtSet := map[uint64]bool{}
+	for _, v := range vts {
+		vtSet[v.Addr] = true
+		for _, f := range v.Slots {
+			res.FnVTables[f] = append(res.FnVTables[f], v.Addr)
+		}
+	}
+	structSeen := map[string]bool{}
+	for _, fn := range fns {
+		ex := &executor{
+			img: img, fn: fn, cfg: cfg, vtSet: vtSet,
+			thisTypes: res.FnVTables[fn.Entry],
+		}
+		ex.run()
+		// Deduplicate raw sequences per (object segment type, content).
+		seqSeen := map[string]bool{}
+		for _, seg := range ex.segments {
+			key := fmt.Sprintf("%d|%s", seg.vt, eventsKey(seg.events))
+			if seqSeen[key] || len(seg.events) == 0 {
+				continue
+			}
+			seqSeen[key] = true
+			types := []uint64{seg.vt}
+			if seg.vt == entryThisType {
+				types = res.FnVTables[fn.Entry]
+			}
+			for _, t := range types {
+				res.RawPerType[t] = append(res.RawPerType[t], seg.events)
+				for _, tl := range windows(seg.events, cfg.Window) {
+					res.PerType[t] = append(res.PerType[t], tl)
+				}
+			}
+		}
+		for _, os := range ex.structs {
+			key := structKey(os)
+			if !structSeen[key] {
+				structSeen[key] = true
+				res.Structs = append(res.Structs, os)
+			}
+		}
+	}
+	return res
+}
+
+// windows splits a sequence into tracelets of length at most w (sliding
+// window, stride 1; shorter sequences stay whole).
+func windows(seq []Event, w int) []Tracelet {
+	if len(seq) <= w {
+		return []Tracelet{Tracelet(seq)}
+	}
+	out := make([]Tracelet, 0, len(seq)-w+1)
+	for i := 0; i+w <= len(seq); i++ {
+		out = append(out, Tracelet(seq[i:i+w]))
+	}
+	return out
+}
+
+func eventsKey(evs []Event) string {
+	s := ""
+	for _, e := range evs {
+		s += fmt.Sprintf("%d:%d;", e.Kind, e.N)
+	}
+	return s
+}
+
+func structKey(os ObjStruct) string {
+	s := fmt.Sprintf("%x|%v|", os.Fn, os.EntryThis)
+	for _, e := range os.Events {
+		s += fmt.Sprintf("%v:%d:%x:%x;", e.Install, e.Off, e.VT, e.Callee)
+	}
+	return s
+}
+
+// Symbolic values -------------------------------------------------------------
+
+type vkind uint8
+
+const (
+	vUnknown vkind = iota
+	vObj           // an abstract object; obj = id
+	vVt            // address of a discovered vtable; n = address
+	vFn            // address of a function; n = address
+	vVptr          // value loaded from an object's vtable-pointer slot; obj, n = object offset of the slot
+	vSlotFn        // value loaded from a vtable pointer at slot index; obj, n = slot index
+	vNum           // opaque scalar
+)
+
+type val struct {
+	kind vkind
+	obj  int
+	n    uint64
+}
+
+// entryThisType marks segments of the function's receiver object before any
+// install: they are attributed to every vtable containing the function.
+const entryThisType = ^uint64(0)
+
+// untyped marks segments of an object not yet associated with a vtable.
+const untypedType = uint64(0)
+
+// segment is a run of events on one object while it has one type.
+type segment struct {
+	obj    int
+	vt     uint64 // vtable address, entryThisType, or untypedType
+	events []Event
+}
+
+// objState is the per-path mutable state of one object.
+type objState struct {
+	// primary is the currently installed primary vtable (offset 0), or
+	// entryThisType/untypedType.
+	primary uint64
+	// seg indexes the object's current segment in executor order.
+	seg int
+}
+
+type state struct {
+	pc    int
+	steps int
+	regs  [ir.NumRegs]val
+	objs  map[int]objState
+	// brTaken counts taken-edge traversals per branch instruction index.
+	brTaken map[int]int
+	// segments owned by this path (index into path-local slice).
+	segments []segment
+	// structs: per-object structural event logs (keyed by object id).
+	structs map[int][]StructEvent
+	// entryThisObj is the id of the receiver object, or -1.
+	entryThisObj int
+	nextObj      int
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		pc: s.pc, steps: s.steps, regs: s.regs,
+		objs:         make(map[int]objState, len(s.objs)),
+		brTaken:      make(map[int]int, len(s.brTaken)),
+		segments:     make([]segment, len(s.segments)),
+		structs:      make(map[int][]StructEvent, len(s.structs)),
+		entryThisObj: s.entryThisObj,
+		nextObj:      s.nextObj,
+	}
+	for k, v := range s.objs {
+		c.objs[k] = v
+	}
+	for k, v := range s.brTaken {
+		c.brTaken[k] = v
+	}
+	for i, seg := range s.segments {
+		c.segments[i] = segment{obj: seg.obj, vt: seg.vt, events: append([]Event(nil), seg.events...)}
+	}
+	for k, v := range s.structs {
+		c.structs[k] = append([]StructEvent(nil), v...)
+	}
+	return c
+}
+
+type executor struct {
+	img       *image.Image
+	fn        *ir.Function
+	cfg       Config
+	vtSet     map[uint64]bool
+	thisTypes []uint64
+
+	paths    int
+	segments []segment
+	structs  []ObjStruct
+}
+
+func (ex *executor) run() {
+	init := &state{pc: 0, objs: map[int]objState{}, brTaken: map[int]int{},
+		structs: map[int][]StructEvent{}, entryThisObj: -1}
+	if len(ex.thisTypes) > 0 {
+		// The receiver of a virtual function is a typed object (§3.2).
+		id := init.newObj()
+		init.entryThisObj = id
+		init.objs[id] = objState{primary: entryThisType, seg: -1}
+		init.regs[ir.RegThis] = val{kind: vObj, obj: id}
+	}
+	stack := []*state{init}
+	for len(stack) > 0 && ex.paths < ex.cfg.MaxPaths {
+		st := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ex.step(st, &stack)
+	}
+}
+
+func (s *state) newObj() int {
+	id := s.nextObj
+	s.nextObj++
+	return id
+}
+
+// emit appends a behavioral event to the object's current segment.
+func (s *state) emit(cfg Config, objID int, e Event) {
+	os, ok := s.objs[objID]
+	if !ok || os.primary == untypedType {
+		return
+	}
+	if os.seg < 0 {
+		s.segments = append(s.segments, segment{obj: objID, vt: os.primary})
+		os.seg = len(s.segments) - 1
+		s.objs[objID] = os
+	}
+	seg := &s.segments[os.seg]
+	if len(seg.events) < cfg.MaxTraceLen {
+		seg.events = append(seg.events, e)
+	}
+}
+
+// install records a vtable install at off on the object, retyping it when
+// off is 0 (primary vtable pointer).
+func (s *state) install(objID int, off int32, vt uint64) {
+	s.structs[objID] = append(s.structs[objID], StructEvent{Install: true, Off: off, VT: vt})
+	if off != 0 {
+		return
+	}
+	os := s.objs[objID]
+	os.primary = vt
+	os.seg = -1 // next event opens a fresh segment under the new type
+	s.objs[objID] = os
+}
+
+// clobberCallRegs models the calling convention: volatile registers do not
+// survive a call.
+func (s *state) clobberCallRegs() {
+	s.regs[ir.RegThis] = val{}
+	s.regs[ir.RegRet] = val{}
+	for i := 0; i < ir.NumArgRegs; i++ {
+		s.regs[ir.ArgReg(i)] = val{}
+	}
+	for r := ir.Reg(60); r < ir.NumRegs; r++ {
+		s.regs[r] = val{}
+	}
+}
+
+// finish flushes a completed path into the executor's results.
+func (ex *executor) finish(s *state) {
+	ex.paths++
+	ex.segments = append(ex.segments, s.segments...)
+	ids := make([]int, 0, len(s.structs))
+	for id := range s.structs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ex.structs = append(ex.structs, ObjStruct{
+			Fn:        ex.fn.Entry,
+			EntryThis: id == s.entryThisObj,
+			Events:    s.structs[id],
+		})
+	}
+}
+
+// step executes from s.pc until the path ends, pushing forked states.
+func (ex *executor) step(s *state, stack *[]*state) {
+	cfg := ex.cfg
+	for {
+		if s.pc < 0 || s.pc >= len(ex.fn.Insts) || s.steps >= cfg.MaxSteps {
+			ex.finish(s)
+			return
+		}
+		in := ex.fn.Insts[s.pc]
+		s.steps++
+		next := s.pc + 1
+		switch in.Op {
+		case ir.OpNop:
+		case ir.OpMovImm:
+			s.regs[in.Rd] = val{kind: vNum, n: in.Imm}
+		case ir.OpMovReg:
+			s.regs[in.Rd] = s.regs[in.Rs]
+		case ir.OpArith:
+			s.regs[in.Rd] = val{kind: vNum}
+		case ir.OpLea:
+			switch {
+			case ex.vtSet[in.Imm]:
+				s.regs[in.Rd] = val{kind: vVt, n: in.Imm}
+			case ex.img.IsEntry(in.Imm):
+				s.regs[in.Rd] = val{kind: vFn, n: in.Imm}
+			default:
+				s.regs[in.Rd] = val{kind: vNum, n: in.Imm}
+			}
+		case ir.OpLoad:
+			base := s.regs[in.Rs]
+			switch base.kind {
+			case vObj:
+				os := s.objs[base.obj]
+				if in.Off == 0 || hasInstallAt(s.structs[base.obj], in.Off) {
+					s.regs[in.Rd] = val{kind: vVptr, obj: base.obj, n: uint64(in.Off)}
+				} else {
+					if os.primary != untypedType {
+						s.emit(cfg, base.obj, Event{Kind: EvRead, N: uint64(in.Off)})
+					}
+					s.regs[in.Rd] = val{}
+				}
+			case vVptr:
+				s.regs[in.Rd] = val{kind: vSlotFn, obj: base.obj, n: uint64(in.Off) / 8}
+			default:
+				s.regs[in.Rd] = val{}
+			}
+		case ir.OpStore:
+			base := s.regs[in.Rd]
+			if base.kind == vObj {
+				sv := s.regs[in.Rs]
+				if sv.kind == vVt {
+					s.install(base.obj, in.Off, sv.n)
+				} else if in.Off != 0 {
+					s.emit(cfg, base.obj, Event{Kind: EvWrite, N: uint64(in.Off)})
+				}
+			}
+		case ir.OpCall:
+			isAlloc := ex.img.Imports[in.Imm] == image.ImportAlloc
+			if !isAlloc {
+				// Receiver and argument events.
+				if rv := s.regs[ir.RegThis]; rv.kind == vObj {
+					s.structs[rv.obj] = append(s.structs[rv.obj], StructEvent{Callee: in.Imm})
+					s.emit(cfg, rv.obj, Event{Kind: EvThis})
+					s.emit(cfg, rv.obj, Event{Kind: EvCallF, N: in.Imm})
+				}
+				for i := 0; i < ir.NumArgRegs; i++ {
+					if av := s.regs[ir.ArgReg(i)]; av.kind == vObj {
+						s.emit(cfg, av.obj, Event{Kind: EvArg, N: uint64(i)})
+						s.emit(cfg, av.obj, Event{Kind: EvCallF, N: in.Imm})
+					}
+				}
+			}
+			s.clobberCallRegs()
+			if isAlloc {
+				id := s.newObj()
+				s.objs[id] = objState{primary: untypedType, seg: -1}
+				s.regs[ir.RegRet] = val{kind: vObj, obj: id}
+			}
+		case ir.OpCallInd:
+			t := s.regs[in.Rs]
+			if t.kind == vSlotFn {
+				s.emit(cfg, t.obj, Event{Kind: EvCall, N: t.n})
+			}
+			for i := 0; i < ir.NumArgRegs; i++ {
+				if av := s.regs[ir.ArgReg(i)]; av.kind == vObj {
+					if t.kind != vSlotFn || av.obj != t.obj {
+						s.emit(cfg, av.obj, Event{Kind: EvArg, N: uint64(i)})
+					}
+				}
+			}
+			s.clobberCallRegs()
+		case ir.OpRet:
+			if rv := s.regs[ir.RegRet]; rv.kind == vObj {
+				s.emit(cfg, rv.obj, Event{Kind: EvRet})
+			}
+			ex.finish(s)
+			return
+		case ir.OpJmp:
+			idx := ex.fn.IndexOf(in.Imm)
+			if idx < 0 || idx == s.pc {
+				// Self-loop (noreturn stub) or invalid target: end path.
+				ex.finish(s)
+				return
+			}
+			next = idx
+		case ir.OpBr:
+			idx := ex.fn.IndexOf(in.Imm)
+			if idx >= 0 {
+				taken := s.brTaken[s.pc]
+				backEdge := idx <= s.pc
+				if !backEdge || taken < cfg.MaxUnroll {
+					if ex.paths+len(*stack) < cfg.MaxPaths {
+						forked := s.clone()
+						forked.brTaken[s.pc] = taken + 1
+						forked.pc = idx
+						*stack = append(*stack, forked)
+					}
+				}
+			}
+			// Fallthrough continues on this state.
+		}
+		s.pc = next
+	}
+}
+
+func hasInstallAt(evs []StructEvent, off int32) bool {
+	for _, e := range evs {
+		if e.Install && e.Off == off && off != 0 {
+			return true
+		}
+	}
+	return false
+}

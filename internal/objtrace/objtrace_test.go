@@ -1,0 +1,203 @@
+package objtrace
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/cpp"
+	"repro/internal/disasm"
+	"repro/internal/image"
+	"repro/internal/ir"
+	"repro/internal/vtable"
+)
+
+// buildAndExtract compiles a program with the given options and runs the
+// extractor on the stripped image.
+func buildAndExtract(t *testing.T, p *cpp.Program, opts compiler.Options) (*image.Image, *Result) {
+	t.Helper()
+	img, err := compiler.Compile(p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := img.Strip()
+	fns, err := disasm.All(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vts := vtable.Discover(stripped, fns)
+	return img, Extract(stripped, fns, vts, DefaultConfig())
+}
+
+func prog() *cpp.Program {
+	return &cpp.Program{
+		Name: "t",
+		Classes: []*cpp.Class{
+			{Name: "A", Fields: []cpp.Field{{Name: "x"}}, Methods: []*cpp.Method{
+				{Name: "m", Virtual: true},
+				{Name: "g", Virtual: true},
+			}},
+		},
+		Funcs: []*cpp.Func{
+			{Name: "helper", Params: []cpp.Param{{Name: "o", Class: "A"}}, Body: []cpp.Stmt{cpp.Return{}}},
+			{Name: "use", Body: []cpp.Stmt{
+				cpp.New{Dst: "o", Class: "A"},
+				cpp.VCall{Obj: "o", Method: "m"},
+				cpp.VCall{Obj: "o", Method: "g"},
+				cpp.WriteField{Obj: "o", Field: "x"},
+				cpp.ReadField{Obj: "o", Field: "x"},
+				cpp.CallFunc{Name: "helper", Args: []cpp.Arg{cpp.ObjArg("o")}},
+				cpp.Return{Obj: "o"},
+			}},
+		},
+	}
+}
+
+func TestTable1Events(t *testing.T) {
+	img, res := buildAndExtract(t, prog(), compiler.DefaultOptions())
+	vt := img.Meta.TypeByName("A").VTable
+	seqs := res.RawPerType[vt]
+	if len(seqs) == 0 {
+		t.Fatal("no sequences extracted for A")
+	}
+	// The use function produces, after the ctor field init:
+	// W(8) C(1) C(2) W(8) R(8) Arg(0) call(helper) ret.
+	found := map[string]bool{}
+	for _, seq := range seqs {
+		for _, e := range seq {
+			found[e.String()] = true
+		}
+	}
+	for _, want := range []string{"C(1)", "C(2)", "W(8)", "R(8)", "Arg(0)", "ret"} {
+		if !found[want] {
+			t.Errorf("event %s not observed; got %v", want, found)
+		}
+	}
+	callSeen := false
+	for k := range found {
+		if len(k) > 5 && k[:5] == "call(" {
+			callSeen = true
+		}
+	}
+	if !callSeen {
+		t.Errorf("no call(f) event observed; got %v", found)
+	}
+}
+
+func TestWindowing(t *testing.T) {
+	seq := make([]Event, 10)
+	for i := range seq {
+		seq[i] = Event{Kind: EvCall, N: uint64(i)}
+	}
+	ws := windows(seq, 7)
+	if len(ws) != 4 { // 10-7+1 sliding windows
+		t.Fatalf("got %d windows, want 4", len(ws))
+	}
+	for _, w := range ws {
+		if len(w) != 7 {
+			t.Fatalf("window length %d", len(w))
+		}
+	}
+	short := windows(seq[:3], 7)
+	if len(short) != 1 || len(short[0]) != 3 {
+		t.Fatalf("short sequence should stay whole: %v", short)
+	}
+}
+
+func TestStructuralObservations(t *testing.T) {
+	// With cues preserved, the ctor-call pattern must be visible: the use
+	// site installs the vtable and the object is typed from the install.
+	_, res := buildAndExtract(t, prog(), compiler.DebugFriendlyOptions())
+	sawInstall := false
+	for _, os := range res.Structs {
+		for _, e := range os.Events {
+			if e.Install && e.Off == 0 {
+				sawInstall = true
+			}
+		}
+	}
+	if !sawInstall {
+		t.Fatal("no vtable install observed")
+	}
+}
+
+func TestThisTypedMethodTraces(t *testing.T) {
+	// A method body operating on `this` must contribute tracelets to every
+	// type whose vtable contains the method.
+	p := &cpp.Program{
+		Name: "t",
+		Classes: []*cpp.Class{
+			{Name: "A", Fields: []cpp.Field{{Name: "x"}}, Methods: []*cpp.Method{
+				{Name: "m", Virtual: true, Body: []cpp.Stmt{
+					cpp.WriteField{Obj: "this", Field: "x"},
+					cpp.ReadField{Obj: "this", Field: "x"},
+				}},
+			}},
+			{Name: "B", Bases: []string{"A"}, Methods: []*cpp.Method{{Name: "n", Virtual: true}}},
+		},
+		Funcs: []*cpp.Func{
+			{Name: "ua", Body: []cpp.Stmt{cpp.New{Dst: "o", Class: "A"}}},
+			{Name: "ub", Body: []cpp.Stmt{cpp.New{Dst: "o", Class: "B"}}},
+		},
+	}
+	img, res := buildAndExtract(t, p, compiler.DefaultOptions())
+	for _, cls := range []string{"A", "B"} {
+		vt := img.Meta.TypeByName(cls).VTable
+		sawW := false
+		for _, seq := range res.RawPerType[vt] {
+			for _, e := range seq {
+				if e.Kind == EvWrite {
+					sawW = true
+				}
+			}
+		}
+		if !sawW {
+			t.Errorf("method trace missing for %s (shared impl should type `this` for both)", cls)
+		}
+	}
+}
+
+func TestPathExplosionBounded(t *testing.T) {
+	// Deeply nested branches must be cut off by MaxPaths, not hang.
+	var body []cpp.Stmt
+	body = append(body, cpp.New{Dst: "o", Class: "A"})
+	inner := []cpp.Stmt{cpp.VCall{Obj: "o", Method: "m"}}
+	for i := 0; i < 20; i++ {
+		inner = []cpp.Stmt{cpp.If{Then: inner, Else: []cpp.Stmt{cpp.VCall{Obj: "o", Method: "g"}}}}
+	}
+	p := prog()
+	p.Funcs = append(p.Funcs, &cpp.Func{Name: "deep", Body: append(body, inner...)})
+	_, res := buildAndExtract(t, p, compiler.DefaultOptions())
+	if len(res.PerType) == 0 {
+		t.Fatal("no tracelets extracted")
+	}
+}
+
+func TestLoopUnrollBounded(t *testing.T) {
+	p := prog()
+	p.Funcs = append(p.Funcs, &cpp.Func{Name: "loopy", Body: []cpp.Stmt{
+		cpp.New{Dst: "o", Class: "A"},
+		cpp.Loop{Body: []cpp.Stmt{cpp.VCall{Obj: "o", Method: "m"}}},
+	}})
+	img, res := buildAndExtract(t, p, compiler.DefaultOptions())
+	vt := img.Meta.TypeByName("A").VTable
+	maxCalls := 0
+	for _, seq := range res.RawPerType[vt] {
+		n := 0
+		for _, e := range seq {
+			if e.Kind == EvCall && e.N == 1 {
+				n++
+			}
+		}
+		if n > maxCalls {
+			maxCalls = n
+		}
+	}
+	if maxCalls == 0 {
+		t.Fatal("loop body produced no events")
+	}
+	if maxCalls > DefaultConfig().MaxUnroll+1 {
+		t.Errorf("loop unrolled %d times, bound is %d", maxCalls, DefaultConfig().MaxUnroll)
+	}
+}
+
+var _ = ir.InstSize // keep the import for the helper's type references

@@ -1,0 +1,137 @@
+package slm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metric selects the pairwise type-distance criterion (§4.2.1 and the
+// "Other Metrics" discussion of §6.4). The paper's algorithm only needs a
+// ranking over candidate parents (Remark 4.1), so any of these can drive
+// the arborescence; DKL is the one that works.
+type Metric int
+
+// Metrics.
+const (
+	// MetricKL is the Kullback–Leibler divergence D_KL(A || B), the paper's
+	// choice: asymmetric, matching the inherently asymmetric parent/child
+	// relation.
+	MetricKL Metric = iota
+	// MetricJSDivergence is the symmetric Jensen–Shannon divergence.
+	MetricJSDivergence
+	// MetricJSDistance is sqrt(JS-divergence), a true metric.
+	MetricJSDistance
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case MetricKL:
+		return "DKL"
+	case MetricJSDivergence:
+		return "JS-divergence"
+	case MetricJSDistance:
+		return "JS-distance"
+	}
+	return fmt.Sprintf("metric(%d)", int(m))
+}
+
+// wordDist evaluates the model on every word and normalizes to a proper
+// distribution over the word set, so the divergences below are divergences
+// between distributions (the relative-entropy reading of §4.2.1: popular
+// behaviours weigh more than rare ones).
+func wordDist(m *Model, words [][]int) []float64 {
+	ps := make([]float64, len(words))
+	// Work from log-probabilities with a max-shift for numerical stability.
+	maxLp := math.Inf(-1)
+	lps := make([]float64, len(words))
+	for i, w := range words {
+		lps[i] = m.LogProbSeq(w)
+		if lps[i] > maxLp {
+			maxLp = lps[i]
+		}
+	}
+	sum := 0.0
+	for i := range words {
+		ps[i] = math.Exp(lps[i] - maxLp)
+		sum += ps[i]
+	}
+	if sum == 0 {
+		for i := range ps {
+			ps[i] = 1 / float64(len(ps))
+		}
+		return ps
+	}
+	for i := range ps {
+		ps[i] /= sum
+	}
+	return ps
+}
+
+// KL returns D_KL(A || B) measured over the word set W:
+//
+//	D_KL(A||B) = sum_{w in W} Pr(A_w) ln( Pr(A_w) / Pr(B_w) )
+//
+// Words are sequences over the shared alphabet. Both models must have the
+// same alphabet.
+func KL(a, b *Model, words [][]int) float64 {
+	if len(words) == 0 {
+		return 0
+	}
+	pa := wordDist(a, words)
+	pb := wordDist(b, words)
+	d := 0.0
+	for i := range words {
+		if pa[i] <= 0 {
+			continue
+		}
+		q := pb[i]
+		if q <= 0 {
+			q = 1e-300
+		}
+		d += pa[i] * math.Log(pa[i]/q)
+	}
+	return d
+}
+
+// JSDivergence returns the Jensen–Shannon divergence between the two models
+// over the word set.
+func JSDivergence(a, b *Model, words [][]int) float64 {
+	if len(words) == 0 {
+		return 0
+	}
+	pa := wordDist(a, words)
+	pb := wordDist(b, words)
+	d := 0.0
+	for i := range words {
+		m := (pa[i] + pb[i]) / 2
+		if m <= 0 {
+			continue
+		}
+		if pa[i] > 0 {
+			d += 0.5 * pa[i] * math.Log(pa[i]/m)
+		}
+		if pb[i] > 0 {
+			d += 0.5 * pb[i] * math.Log(pb[i]/m)
+		}
+	}
+	return d
+}
+
+// JSDistance returns sqrt(JSDivergence), which satisfies the triangle
+// inequality.
+func JSDistance(a, b *Model, words [][]int) float64 {
+	return math.Sqrt(JSDivergence(a, b, words))
+}
+
+// Distance dispatches on the metric.
+func Distance(metric Metric, a, b *Model, words [][]int) float64 {
+	switch metric {
+	case MetricJSDivergence:
+		return JSDivergence(a, b, words)
+	case MetricJSDistance:
+		return JSDistance(a, b, words)
+	default:
+		return KL(a, b, words)
+	}
+}

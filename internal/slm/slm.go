@@ -1,0 +1,228 @@
+// Package slm implements the statistical language models of §3.1: n-gram
+// models with smoothing and backoff ("variable-order n-gram models") based
+// on prediction by partial matching, variant PPM-C. A model of maximum
+// order D is a tree of contexts; querying backs off from the longest seen
+// context through escape probabilities down to a uniform order -1 model
+// over the alphabet:
+//
+//	Pr_k(sigma|s) = counts-based estimate       if s·sigma seen in training
+//	              = 1/|Sigma|                   if |s| = 0 and sigma unseen
+//	              = Pr(escape|s)·Pr_{k-1}(...)  otherwise
+//
+// Under PPM-C the escape mass of a context with n symbol occurrences over d
+// distinct symbols is d/(n+d), and a seen symbol sigma has probability
+// c(sigma)/(n+d).
+//
+// The package also provides the Kullback–Leibler divergence between two
+// models over a word set (§4.2.1) and the JS-divergence/JS-distance
+// variants the paper evaluates and rejects ("Other Metrics", §6.4).
+package slm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Model is a trained PPM-C variable-order Markov model over an integer
+// alphabet [0, Alphabet).
+type Model struct {
+	depth    int
+	alphabet int
+	root     *node
+	// trained counts the training sequences consumed.
+	trained int
+}
+
+type node struct {
+	children map[int]*node
+	counts   map[int]int
+	total    int
+}
+
+func newNode() *node {
+	return &node{children: map[int]*node{}, counts: map[int]int{}}
+}
+
+// New returns an empty model with the given maximum order (context length)
+// and alphabet size. Depth 2 matches the paper's Fig. 8 example.
+func New(depth, alphabet int) *Model {
+	if depth < 0 {
+		depth = 0
+	}
+	if alphabet < 1 {
+		alphabet = 1
+	}
+	return &Model{depth: depth, alphabet: alphabet, root: newNode()}
+}
+
+// Depth returns the maximum context length D.
+func (m *Model) Depth() int { return m.depth }
+
+// Alphabet returns the alphabet size.
+func (m *Model) Alphabet() int { return m.alphabet }
+
+// Trained returns how many sequences the model was trained on.
+func (m *Model) Trained() int { return m.trained }
+
+// Train updates the model with one training sequence.
+func (m *Model) Train(seq []int) {
+	for i, sym := range seq {
+		if sym < 0 || sym >= m.alphabet {
+			panic(fmt.Sprintf("slm: symbol %d outside alphabet %d", sym, m.alphabet))
+		}
+		// Update every context of length 0..D ending just before position i.
+		n := m.root
+		n.counts[sym]++
+		n.total++
+		for k := 1; k <= m.depth && k <= i; k++ {
+			c := seq[i-k] // walk from most recent to older
+			child, ok := n.children[c]
+			if !ok {
+				child = newNode()
+				n.children[c] = child
+			}
+			n = child
+			n.counts[sym]++
+			n.total++
+		}
+	}
+	m.trained++
+}
+
+// contextNodes returns the chain of context nodes for the history suffix,
+// from order 0 (root) up to the deepest context seen in training.
+func (m *Model) contextNodes(hist []int) []*node {
+	nodes := []*node{m.root}
+	n := m.root
+	for k := 1; k <= m.depth && k <= len(hist); k++ {
+		c := hist[len(hist)-k]
+		child, ok := n.children[c]
+		if !ok {
+			break
+		}
+		n = child
+		nodes = append(nodes, n)
+	}
+	return nodes
+}
+
+// Prob returns Pr(sym | hist) with PPM-C backoff.
+func (m *Model) Prob(sym int, hist []int) float64 {
+	return math.Exp(m.LogProb(sym, hist))
+}
+
+// LogProb returns ln Pr(sym | hist) under PPM-C with update exclusion at
+// query time: once a context level is escaped, the symbols it accounted
+// for are excluded from lower-order estimates (they cannot be the escaped
+// symbol), which renormalizes the backoff chain into a proper
+// distribution.
+func (m *Model) LogProb(sym int, hist []int) float64 {
+	nodes := m.contextNodes(hist)
+	excluded := map[int]bool{}
+	lp := 0.0
+	for k := len(nodes) - 1; k >= 0; k-- {
+		n := nodes[k]
+		total, distinct := 0, 0
+		for s, c := range n.counts {
+			if excluded[s] {
+				continue
+			}
+			total += c
+			distinct++
+		}
+		if distinct == 0 {
+			continue // every symbol here already excluded: free backoff
+		}
+		// When the context has seen every remaining alphabet symbol there
+		// is nothing to escape to, so the escape mass is dropped and the
+		// seen counts are fully normalized.
+		remaining := m.alphabet - len(excluded)
+		denom := float64(total + distinct)
+		if distinct >= remaining {
+			denom = float64(total)
+		}
+		if c, ok := n.counts[sym]; ok && !excluded[sym] {
+			return lp + math.Log(float64(c)/denom)
+		}
+		if distinct >= remaining {
+			// No escape possible, yet sym was unseen: it must have been
+			// excluded at a higher level; treat as vanishing probability.
+			return lp + math.Log(1e-12)
+		}
+		lp += math.Log(float64(distinct) / denom) // escape
+		for s := range n.counts {
+			excluded[s] = true
+		}
+	}
+	// Order -1: uniform over the not-yet-excluded alphabet.
+	remaining := m.alphabet - len(excluded)
+	if remaining < 1 {
+		remaining = 1
+	}
+	return lp + math.Log(1.0/float64(remaining))
+}
+
+// LogProbSeq returns ln Pr(seq) = sum_i ln Pr(seq[i] | seq[:i]), with the
+// history truncated to the model depth.
+func (m *Model) LogProbSeq(seq []int) float64 {
+	lp := 0.0
+	for i, sym := range seq {
+		lo := i - m.depth
+		if lo < 0 {
+			lo = 0
+		}
+		lp += m.LogProb(sym, seq[lo:i])
+	}
+	return lp
+}
+
+// ProbSeq returns Pr(seq).
+func (m *Model) ProbSeq(seq []int) float64 { return math.Exp(m.LogProbSeq(seq)) }
+
+// Dump renders the trained context tree with the probability each context
+// assigns to each next symbol and to escape — the Fig. 8 view of a model.
+// name maps symbols to display strings.
+func (m *Model) Dump(name func(int) string) string {
+	var b strings.Builder
+	var walk func(n *node, ctx []int, depth int)
+	walk = func(n *node, ctx []int, depth int) {
+		indent := strings.Repeat("  ", depth)
+		label := "<root>"
+		if len(ctx) > 0 {
+			parts := make([]string, len(ctx))
+			for i, s := range ctx {
+				parts[i] = name(s)
+			}
+			label = strings.Join(parts, " ")
+		}
+		d := len(n.counts)
+		denom := float64(n.total + d)
+		syms := make([]int, 0, d)
+		for s := range n.counts {
+			syms = append(syms, s)
+		}
+		sort.Ints(syms)
+		fmt.Fprintf(&b, "%scontext [%s]:", indent, label)
+		for _, s := range syms {
+			fmt.Fprintf(&b, " %s=%.3f", name(s), float64(n.counts[s])/denom)
+		}
+		if d > 0 {
+			fmt.Fprintf(&b, " escape=%.3f", float64(d)/denom)
+		}
+		b.WriteString("\n")
+		kids := make([]int, 0, len(n.children))
+		for s := range n.children {
+			kids = append(kids, s)
+		}
+		sort.Ints(kids)
+		for _, s := range kids {
+			// ctx is stored most-recent-first in the tree; display as
+			// oldest-first by prepending.
+			walk(n.children[s], append([]int{s}, ctx...), depth+1)
+		}
+	}
+	walk(m.root, nil, 0)
+	return b.String()
+}

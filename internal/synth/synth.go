@@ -1,0 +1,160 @@
+// Package synth generates random object-oriented programs for property
+// tests and scalability runs — the stand-in for the paper's large
+// no-ground-truth binary (Skype, 21.6 MB): a seeded generator produces
+// programs with many independent hierarchies, graded usage functions, and
+// a known source hierarchy to validate against.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cpp"
+)
+
+// Params controls program generation.
+type Params struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Families is the number of independent class hierarchies.
+	Families int
+	// MaxDepth bounds each hierarchy's depth (>= 1).
+	MaxDepth int
+	// MaxBranch bounds the children per class.
+	MaxBranch int
+	// MethodsPerClass bounds the new virtual methods a class introduces
+	// (at least 1 is always introduced by a root).
+	MethodsPerClass int
+	// FieldsPerClass bounds the fields a class introduces.
+	FieldsPerClass int
+	// UseReps is the idiom repetition count in usage functions.
+	UseReps int
+}
+
+// DefaultParams returns a mid-sized workload.
+func DefaultParams(seed int64) Params {
+	return Params{
+		Seed:            seed,
+		Families:        8,
+		MaxDepth:        4,
+		MaxBranch:       3,
+		MethodsPerClass: 3,
+		FieldsPerClass:  2,
+		UseReps:         3,
+	}
+}
+
+// Generate builds a random program and its expected source hierarchy
+// (child class -> parent class).
+func Generate(p Params) (*cpp.Program, map[string]string) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	prog := &cpp.Program{Name: fmt.Sprintf("synth-%d", p.Seed)}
+	parents := map[string]string{}
+	if p.Families < 1 {
+		p.Families = 1
+	}
+	if p.MaxDepth < 1 {
+		p.MaxDepth = 1
+	}
+	if p.MaxBranch < 1 {
+		p.MaxBranch = 1
+	}
+	if p.UseReps < 1 {
+		p.UseReps = 1
+	}
+
+	clsID := 0
+	methodID := 0
+	// newMethods / newFields per class for usage generation.
+	newMethods := map[string][]string{}
+	newFields := map[string][]string{}
+	chainOf := map[string][]string{} // root-first ancestry including self
+
+	var grow func(fam int, parent string, depth int)
+	grow = func(fam int, parent string, depth int) {
+		name := fmt.Sprintf("F%dC%d", fam, clsID)
+		clsID++
+		c := &cpp.Class{Name: name}
+		if parent != "" {
+			c.Bases = []string{parent}
+			parents[name] = parent
+		}
+		nm := 1 + rng.Intn(maxi(1, p.MethodsPerClass))
+		for i := 0; i < nm; i++ {
+			m := fmt.Sprintf("m%d", methodID)
+			methodID++
+			c.Methods = append(c.Methods, &cpp.Method{
+				Name: m, Virtual: true,
+				Body: []cpp.Stmt{cpp.Opaque{Seed: uint64(methodID)*2654435761 + 17}},
+			})
+			newMethods[name] = append(newMethods[name], m)
+		}
+		nf := rng.Intn(p.FieldsPerClass + 1)
+		for i := 0; i < nf; i++ {
+			f := fmt.Sprintf("f%d_%d", clsID, i)
+			c.Fields = append(c.Fields, cpp.Field{Name: f})
+			newFields[name] = append(newFields[name], f)
+		}
+		// Occasionally override one inherited method.
+		if parent != "" && rng.Intn(2) == 0 {
+			inherited := newMethods[chainOf[parent][0]]
+			if len(inherited) > 0 {
+				m := inherited[rng.Intn(len(inherited))]
+				c.Methods = append(c.Methods, &cpp.Method{
+					Name: m, Virtual: true,
+					Body: []cpp.Stmt{cpp.Opaque{Seed: uint64(clsID)*97 + uint64(len(m))}},
+				})
+			}
+		}
+		prog.Classes = append(prog.Classes, c)
+		if parent == "" {
+			chainOf[name] = []string{name}
+		} else {
+			chainOf[name] = append(append([]string(nil), chainOf[parent]...), name)
+		}
+
+		// Helper function (distinctive call(f) symbol per class).
+		helper := "h_" + name
+		prog.Funcs = append(prog.Funcs, &cpp.Func{
+			Name:   helper,
+			Params: []cpp.Param{{Name: "o", Class: name}},
+			Body:   []cpp.Stmt{cpp.Opaque{Seed: uint64(clsID) * 31}, cpp.Return{}},
+		})
+
+		// Usage function: graded idiom over the ancestry chain.
+		body := []cpp.Stmt{cpp.New{Dst: "o", Class: name}}
+		for _, level := range chainOf[name] {
+			for r := 0; r < p.UseReps; r++ {
+				for _, m := range newMethods[level] {
+					body = append(body, cpp.VCall{Obj: "o", Method: m})
+				}
+				for _, f := range newFields[level] {
+					body = append(body, cpp.WriteField{Obj: "o", Field: f})
+				}
+				body = append(body, cpp.CallFunc{Name: "h_" + level, Args: []cpp.Arg{cpp.ObjArg("o")}})
+			}
+		}
+		prog.Funcs = append(prog.Funcs, &cpp.Func{Name: "use_" + name, Body: body})
+
+		if depth < p.MaxDepth {
+			kids := rng.Intn(p.MaxBranch + 1)
+			if depth == 1 && kids == 0 {
+				kids = 1 // every family has at least one edge
+			}
+			for k := 0; k < kids; k++ {
+				grow(fam, name, depth+1)
+			}
+		}
+	}
+	for fam := 0; fam < p.Families; fam++ {
+		grow(fam, "", 1)
+	}
+	return prog, parents
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

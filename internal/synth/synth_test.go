@@ -1,0 +1,93 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/eval"
+)
+
+// TestGeneratedProgramsCompileAndValidate checks generator output across
+// seeds.
+func TestGeneratedProgramsCompileAndValidate(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		prog, parents := Generate(DefaultParams(seed))
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid program: %v", seed, err)
+		}
+		if len(parents) == 0 {
+			t.Fatalf("seed %d: no hierarchy edges generated", seed)
+		}
+		if _, err := compiler.Compile(prog, compiler.DebugFriendlyOptions()); err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+	}
+}
+
+// TestStructuralRecoveryOnRandomPrograms: with constructor cues retained,
+// the structural analysis alone must recover the exact induced hierarchy of
+// random programs.
+func TestStructuralRecoveryOnRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		prog, _ := Generate(DefaultParams(seed))
+		img, err := compiler.Compile(prog, compiler.DebugFriendlyOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := core.Analyze(img.Strip(), core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		gt, err := eval.GroundTruthForest(img.Meta)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, tt := range gt.Nodes() {
+			wantP, wantOK := gt.Parent(tt)
+			gotP, gotOK := res.Hierarchy.Parent(tt)
+			if wantOK != gotOK || (wantOK && wantP != gotP) {
+				t.Errorf("seed %d: type %s parent mismatch (want %v,%v got %v,%v)",
+					seed, core.TypeNamer(img.Meta)(tt), wantP, wantOK, gotP, gotOK)
+			}
+		}
+	}
+}
+
+// TestBehavioralRecoveryOnRandomPrograms: with all cues optimized away, the
+// statistical analysis should still recover most parents of random
+// programs via graded usage (Hypothesis 4.1 at scale).
+func TestBehavioralRecoveryOnRandomPrograms(t *testing.T) {
+	total, correct := 0, 0
+	for seed := int64(100); seed < 104; seed++ {
+		prog, _ := Generate(DefaultParams(seed))
+		img, err := compiler.Compile(prog, compiler.DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := core.Analyze(img.Strip(), core.DefaultConfig())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		gt, err := eval.GroundTruthForest(img.Meta)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, tt := range gt.Nodes() {
+			wantP, wantOK := gt.Parent(tt)
+			gotP, gotOK := res.Hierarchy.Parent(tt)
+			total++
+			if wantOK == gotOK && (!wantOK || wantP == gotP) {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no types analyzed")
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.8 {
+		t.Errorf("behavioral parent accuracy %.2f (%d/%d) below 0.8", acc, correct, total)
+	}
+	t.Logf("behavioral parent accuracy: %.3f (%d/%d)", acc, correct, total)
+}

@@ -1,0 +1,212 @@
+// Package rock is the public API of the Rock class-hierarchy reconstructor
+// (Katz, Rinetzky, Yahav — "Statistical Reconstruction of Class Hierarchies
+// in Binaries", ASPLOS 2018).
+//
+// Given a serialized binary image (see the repository's image format), Rock
+// discovers the binary types (virtual function tables), partitions them
+// into type families with a structural analysis, trains one statistical
+// language model per type from statically extracted object tracelets, and
+// reconstructs the most likely class hierarchy per family by solving a
+// minimum-weight spanning arborescence over Kullback–Leibler distances
+// between the models.
+//
+// The analysis never consumes names or ground truth: if the input image
+// carries metadata (a ground-truth side channel produced by the bundled
+// compiler), Rock analyzes a stripped copy and uses the metadata only to
+// decorate the report with display names and reference edges.
+package rock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/objtrace"
+	"repro/internal/slm"
+)
+
+// Options configures an analysis. The zero value selects the paper's
+// defaults (SLM depth 2, tracelet window 7, DKL metric, behavioral analysis
+// enabled).
+type Options struct {
+	// SLMDepth is the maximum order of the per-type language models.
+	SLMDepth int
+	// Window is the object-tracelet length bound.
+	Window int
+	// Metric selects the pairwise distance: "kl" (default),
+	// "js-divergence", or "js-distance".
+	Metric string
+	// StructuralOnly disables the behavioral analysis, reproducing the
+	// paper's "without SLMs" baseline: only type families and the
+	// possible-parents relation are reported.
+	StructuralOnly bool
+}
+
+// Type describes one discovered binary type.
+type Type struct {
+	// VTable is the type's vtable address — its identity.
+	VTable uint64
+	// Slots is the number of virtual function slots.
+	Slots int
+	// Name is a display name from metadata, or "vt_0x..." for a stripped
+	// input.
+	Name string
+	// Secondary marks a secondary (multiple-inheritance) subobject vtable.
+	Secondary bool
+}
+
+// Edge is a child → parent link in a hierarchy.
+type Edge struct {
+	Child, Parent uint64
+}
+
+// Report is the analysis result.
+type Report struct {
+	// Types lists every discovered binary type, by ascending vtable address.
+	Types []Type
+	// Families partitions the vtable addresses into type families.
+	Families [][]uint64
+	// PossibleParents is the post-structural candidate relation.
+	PossibleParents map[uint64][]uint64
+	// StructurallyResolved reports whether the structural analysis alone
+	// pinned down a single hierarchy (at most one candidate per type).
+	StructurallyResolved bool
+	// Edges is the reconstructed hierarchy (absent with StructuralOnly).
+	Edges []Edge
+	// MultiParents lists the parent sets chosen for multiple-inheritance
+	// types (§5.3).
+	MultiParents map[uint64][]uint64
+	// GroundTruthEdges holds the metadata hierarchy when the input image
+	// carried one (for the caller's convenience; never used by analysis).
+	GroundTruthEdges []Edge
+
+	names map[uint64]string
+}
+
+// Analyze loads a serialized image and reconstructs its class hierarchy.
+func Analyze(binary []byte, opts Options) (*Report, error) {
+	img, err := image.Load(binary)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeImage(img, opts)
+}
+
+// AnalyzeImage analyzes an already-loaded image. Metadata, if present, is
+// stripped before analysis and used only to decorate the report.
+func AnalyzeImage(img *image.Image, opts Options) (*Report, error) {
+	meta := img.Meta
+	stripped := img
+	if meta != nil {
+		stripped = img.Strip()
+	}
+	cfg := core.DefaultConfig()
+	if opts.SLMDepth > 0 {
+		cfg.SLMDepth = opts.SLMDepth
+	}
+	if opts.Window > 0 {
+		cfg.Trace = objtrace.DefaultConfig()
+		cfg.Trace.Window = opts.Window
+	}
+	switch strings.ToLower(opts.Metric) {
+	case "", "kl", "dkl":
+		cfg.Metric = slm.MetricKL
+	case "js-divergence", "js":
+		cfg.Metric = slm.MetricJSDivergence
+	case "js-distance", "jsd":
+		cfg.Metric = slm.MetricJSDistance
+	default:
+		return nil, fmt.Errorf("rock: unknown metric %q", opts.Metric)
+	}
+	cfg.UseSLM = !opts.StructuralOnly
+
+	res, err := core.Analyze(stripped, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		PossibleParents:      map[uint64][]uint64{},
+		MultiParents:         map[uint64][]uint64{},
+		StructurallyResolved: res.Structural.Resolvable(),
+		names:                map[uint64]string{},
+	}
+	namer := core.TypeNamer(meta)
+	for _, v := range res.VTables {
+		t := Type{VTable: v.Addr, Slots: v.NumSlots(), Name: namer(v.Addr)}
+		if meta != nil {
+			if tm := meta.TypeByVTable(v.Addr); tm != nil {
+				t.Secondary = tm.Secondary
+			}
+		}
+		rep.names[v.Addr] = t.Name
+		rep.Types = append(rep.Types, t)
+	}
+	for _, fam := range res.Structural.Families {
+		rep.Families = append(rep.Families, append([]uint64(nil), fam...))
+	}
+	for c, ps := range res.Structural.PossibleParents {
+		rep.PossibleParents[c] = append([]uint64(nil), ps...)
+	}
+	if res.Hierarchy != nil {
+		for _, t := range res.Hierarchy.Nodes() {
+			if p, ok := res.Hierarchy.Parent(t); ok {
+				rep.Edges = append(rep.Edges, Edge{Child: t, Parent: p})
+			}
+		}
+		sort.Slice(rep.Edges, func(i, j int) bool { return rep.Edges[i].Child < rep.Edges[j].Child })
+	}
+	for t, ps := range res.MultiParents {
+		rep.MultiParents[t] = append([]uint64(nil), ps...)
+	}
+	if meta != nil {
+		for _, tm := range meta.Types {
+			if tm.Parent != 0 {
+				rep.GroundTruthEdges = append(rep.GroundTruthEdges, Edge{Child: tm.VTable, Parent: tm.Parent})
+			}
+		}
+		sort.Slice(rep.GroundTruthEdges, func(i, j int) bool {
+			return rep.GroundTruthEdges[i].Child < rep.GroundTruthEdges[j].Child
+		})
+	}
+	return rep, nil
+}
+
+// Name returns the display name of a type.
+func (r *Report) Name(vt uint64) string {
+	if n, ok := r.names[vt]; ok {
+		return n
+	}
+	return fmt.Sprintf("vt_0x%x", vt)
+}
+
+// HierarchyString renders the reconstructed forest as an indented tree.
+func (r *Report) HierarchyString() string {
+	parent := map[uint64]uint64{}
+	for _, e := range r.Edges {
+		parent[e.Child] = e.Parent
+	}
+	children := map[uint64][]uint64{}
+	var roots []uint64
+	for _, t := range r.Types {
+		if p, ok := parent[t.VTable]; ok {
+			children[p] = append(children[p], t.VTable)
+		} else {
+			roots = append(roots, t.VTable)
+		}
+	}
+	var b strings.Builder
+	var rec func(t uint64, depth int)
+	rec = func(t uint64, depth int) {
+		fmt.Fprintf(&b, "%s%s\n", strings.Repeat("  ", depth), r.Name(t))
+		for _, c := range children[t] {
+			rec(c, depth+1)
+		}
+	}
+	for _, root := range roots {
+		rec(root, 0)
+	}
+	return b.String()
+}
