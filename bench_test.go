@@ -7,6 +7,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/arborescence"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/image"
 	"repro/internal/objtrace"
 	"repro/internal/slm"
 	"repro/internal/structural"
@@ -227,6 +229,35 @@ func BenchmarkScalePipeline(b *testing.B) {
 		b.Run(fmt.Sprintf("families%d", fams), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.Analyze(stripped, core.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineWorkers compares the serial pipeline (Workers: 1)
+// against worker pools of growing size on the largest Table 2 benchmark —
+// the measurement behind `rockbench -pipeline`. On a multi-core machine
+// the parallel variants should approach linear speedup; the reconstructed
+// hierarchy is identical in every variant (see rock's determinism test).
+func BenchmarkPipelineWorkers(b *testing.B) {
+	var img *image.Image
+	for _, bm := range bench.All() {
+		bi, _, err := bm.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if img == nil || len(bi.Code)+len(bi.Rodata) > len(img.Code)+len(img.Rodata) {
+			img = bi
+		}
+	}
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Analyze(img, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

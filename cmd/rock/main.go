@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rock [-metric kl|js-divergence|js-distance] [-depth D] [-window W]
-//	     [-structural-only] [-v] image.rbin
+//	     [-workers N] [-structural-only] [-v] image.rbin
 //
 // The input is an image produced by this repository's compiler (see
 // cmd/rockbench -emit or the examples). If the image carries ground-truth
@@ -24,6 +24,7 @@ func main() {
 	metric := flag.String("metric", "kl", "pairwise distance: kl, js-divergence, js-distance")
 	depth := flag.Int("depth", 2, "SLM maximum order D")
 	window := flag.Int("window", 7, "object tracelet window length")
+	workers := flag.Int("workers", 0, "analysis worker pool size (0 = all CPUs, 1 = serial)")
 	structuralOnly := flag.Bool("structural-only", false, "skip the behavioral analysis (type families and possible parents only)")
 	verbose := flag.Bool("v", false, "print families and candidate parents")
 	flag.Parse()
@@ -40,6 +41,7 @@ func main() {
 		Metric:         *metric,
 		SLMDepth:       *depth,
 		Window:         *window,
+		Workers:        *workers,
 		StructuralOnly: *structuralOnly,
 	})
 	if err != nil {

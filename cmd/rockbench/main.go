@@ -9,15 +9,23 @@
 //	                        reconstruction
 //	rockbench -metrics      §6.4 "Other Metrics": DKL vs JS variants
 //	rockbench -scale        §3.2 scalability: synthetic programs, 50-800 types
+//	rockbench -pipeline     serial vs parallel pipeline wall-clock on the
+//	                        largest benchmark (-json FILE writes the result)
 //	rockbench -emit DIR     write every benchmark image to DIR (for cmd/rock)
 //	rockbench -all          everything above except -emit
+//
+// The global -workers flag bounds the analysis worker pool in every mode
+// (0 = all CPUs, 1 = serial).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
+	"runtime"
 	"sort"
 	"time"
 
@@ -25,9 +33,21 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/image"
 	"repro/internal/slm"
 	"repro/internal/synth"
 )
+
+// workers is the global worker-pool bound applied to every experiment.
+var workers = flag.Int("workers", 0, "analysis worker pool size (0 = all CPUs, 1 = serial)")
+
+// benchConfig returns the paper-default pipeline configuration with the
+// -workers bound applied.
+func benchConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Workers = *workers
+	return cfg
+}
 
 func main() {
 	table2 := flag.Bool("table2", false, "regenerate Table 2")
@@ -36,11 +56,13 @@ func main() {
 	fig9 := flag.Bool("fig9", false, "print the Fig. 9 hierarchies")
 	metrics := flag.Bool("metrics", false, "run the §6.4 metric ablation")
 	scale := flag.Bool("scale", false, "run the scalability sweep")
+	pipeline := flag.Bool("pipeline", false, "measure serial vs parallel pipeline wall-clock")
+	jsonOut := flag.String("json", "", "write the -pipeline result to this JSON file")
 	emit := flag.String("emit", "", "write benchmark images to this directory")
 	all := flag.Bool("all", false, "run every experiment")
 	flag.Parse()
 	if *all {
-		*table2, *motivating, *slmdump, *fig9, *metrics, *scale = true, true, true, true, true, true
+		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline = true, true, true, true, true, true, true
 	}
 	ran := false
 	if *table2 {
@@ -67,6 +89,10 @@ func main() {
 		ran = true
 		runScale()
 	}
+	if *pipeline {
+		ran = true
+		runPipeline(*jsonOut)
+	}
 	if *emit != "" {
 		ran = true
 		runEmit(*emit)
@@ -84,7 +110,7 @@ func fatal(err error) {
 
 func runTable2() {
 	fmt.Println("== Table 2: application distance from H_P ==")
-	rows, err := eval.RunAll()
+	rows, err := eval.RunAllWithConfig(benchConfig())
 	if err != nil {
 		fatal(err)
 	}
@@ -98,7 +124,7 @@ func runMotivating() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := core.Analyze(img.Strip(), core.DefaultConfig())
+	res, err := core.Analyze(img.Strip(), benchConfig())
 	if err != nil {
 		fatal(err)
 	}
@@ -146,7 +172,7 @@ func runSLMDump() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := core.Analyze(img.Strip(), core.DefaultConfig())
+	res, err := core.Analyze(img.Strip(), benchConfig())
 	if err != nil {
 		fatal(err)
 	}
@@ -165,7 +191,7 @@ func runFig9() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := core.Analyze(img, core.DefaultConfig())
+	res, err := core.Analyze(img, benchConfig())
 	if err != nil {
 		fatal(err)
 	}
@@ -192,7 +218,7 @@ func runMetrics() {
 			if b.Resolvable {
 				continue
 			}
-			cfg := core.DefaultConfig()
+			cfg := benchConfig()
 			cfg.Metric = metric
 			row, err := eval.RunWithConfig(b, cfg)
 			if err != nil {
@@ -220,7 +246,7 @@ func runScale() {
 		}
 		stripped := img.Strip()
 		start := time.Now()
-		res, err := core.Analyze(stripped, core.DefaultConfig())
+		res, err := core.Analyze(stripped, benchConfig())
 		if err != nil {
 			fatal(err)
 		}
@@ -241,6 +267,105 @@ func runScale() {
 		fmt.Printf("%8d %8d %10d %12s %11.1f%%\n",
 			fams, len(res.VTables), len(stripped.Entries), elapsed.Round(time.Millisecond),
 			100*float64(correct)/float64(total))
+	}
+}
+
+// pipelineResult is the JSON record emitted by -pipeline (the CI smoke
+// artifact BENCH_pipeline.json).
+type pipelineResult struct {
+	Benchmark  string  `json:"benchmark"`
+	Types      int     `json:"types"`
+	Families   int     `json:"families"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Runs       int     `json:"runs"`
+	SerialNS   int64   `json:"serial_ns"`
+	ParallelNS int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"identical"`
+}
+
+// runPipeline measures the end-to-end analysis wall-clock of the largest
+// Table 2 benchmark (by image size) with Workers=1 against the parallel
+// pool, verifies the two results are deep-equal, and optionally writes the
+// measurement to a JSON file.
+func runPipeline(jsonPath string) {
+	fmt.Println("== pipeline: serial vs parallel wall-clock (largest benchmark) ==")
+	var largest *bench.Benchmark
+	var img *image.Image
+	for _, b := range bench.All() {
+		bi, _, err := b.Build()
+		if err != nil {
+			fatal(err)
+		}
+		if img == nil || len(bi.Code)+len(bi.Rodata) > len(img.Code)+len(img.Rodata) {
+			largest, img = b, bi
+		}
+	}
+
+	serialCfg := benchConfig()
+	serialCfg.Workers = 1
+	parCfg := benchConfig()
+	if parCfg.Workers == 0 {
+		parCfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if parCfg.Workers == 1 && runtime.GOMAXPROCS(0) > 1 {
+		parCfg.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	const runs = 3
+	measure := func(cfg core.Config) (time.Duration, *core.Result) {
+		best := time.Duration(0)
+		var res *core.Result
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			r, err := core.Analyze(img, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+			res = r
+		}
+		return best, res
+	}
+	serialD, serialRes := measure(serialCfg)
+	parD, parRes := measure(parCfg)
+
+	identical := reflect.DeepEqual(serialRes.Dist, parRes.Dist) &&
+		reflect.DeepEqual(serialRes.Families, parRes.Families) &&
+		reflect.DeepEqual(serialRes.MultiParents, parRes.MultiParents)
+
+	out := pipelineResult{
+		Benchmark:  largest.Name,
+		Types:      len(serialRes.VTables),
+		Families:   len(serialRes.Families),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    parCfg.Workers,
+		Runs:       runs,
+		SerialNS:   serialD.Nanoseconds(),
+		ParallelNS: parD.Nanoseconds(),
+		Speedup:    float64(serialD) / float64(parD),
+		Identical:  identical,
+	}
+	fmt.Printf("  benchmark %s: %d types, %d families\n", out.Benchmark, out.Types, out.Families)
+	fmt.Printf("  serial (workers=1):   %12s\n", serialD.Round(time.Microsecond))
+	fmt.Printf("  parallel (workers=%d): %12s\n", out.Workers, parD.Round(time.Microsecond))
+	fmt.Printf("  speedup %.2fx on GOMAXPROCS=%d, results identical: %v\n",
+		out.Speedup, out.GOMAXPROCS, identical)
+	if !identical {
+		fatal(fmt.Errorf("parallel pipeline diverged from the serial pipeline"))
+	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
 	}
 }
 

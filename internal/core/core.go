@@ -10,7 +10,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/arborescence"
 	"repro/internal/disasm"
@@ -48,6 +51,13 @@ type Config struct {
 	// EnumEps is the weight tolerance within which two arborescences count
 	// as equally minimal.
 	EnumEps float64
+	// Workers bounds the pipeline's concurrency: SLM training, per-family
+	// pairwise distance matrices, and per-family arborescence solving all
+	// run on a worker pool of this size. 0 (the default) selects
+	// runtime.GOMAXPROCS(0); 1 runs the pipeline fully serially. The result
+	// is identical for every value — all parallel stages write to
+	// index-owned slots and are merged in a fixed order.
+	Workers int
 }
 
 // DefaultConfig returns the paper-calibrated configuration.
@@ -135,6 +145,9 @@ func Analyze(img *image.Image, cfg Config) (*Result, error) {
 	if cfg.EnumEps <= 0 {
 		cfg.EnumEps = 1e-9
 	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
 
 	fns, err := disasm.All(img)
 	if err != nil {
@@ -213,20 +226,63 @@ func encode(idx map[objtrace.Event]int, tl objtrace.Tracelet) []int {
 	return out
 }
 
-// trainModels trains one SLM per discovered type on TT(t).
+// forEachIndex invokes fn(i) for every i in [0,n), spread over at most
+// workers goroutines pulling indices from a shared atomic counter. With
+// workers <= 1 (or a single item) it degenerates to a plain loop on the
+// calling goroutine — the serial pipeline path. fn must only write to
+// state owned by index i; ordering across indices is not guaranteed.
+func forEachIndex(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// trainModels trains one SLM per discovered type on TT(t). Types are
+// independent (each model sees only its own tracelets), so training fans
+// out over the worker pool; models land in index-owned slots and the map
+// is assembled serially.
 func (r *Result) trainModels(cfg Config) {
 	idx := r.symIndex()
 	alpha := len(r.Alphabet)
 	if alpha == 0 {
 		alpha = 1
 	}
-	r.Models = make(map[uint64]*slm.Model, len(r.VTables))
-	for _, v := range r.VTables {
+	models := make([]*slm.Model, len(r.VTables))
+	forEachIndex(cfg.Workers, len(r.VTables), func(i int) {
 		m := slm.New(cfg.SLMDepth, alpha)
-		for _, tl := range r.Tracelets.PerType[v.Addr] {
+		for _, tl := range r.Tracelets.PerType[r.VTables[i].Addr] {
 			m.Train(encode(idx, tl))
 		}
-		r.Models[v.Addr] = m
+		models[i] = m
+	})
+	r.Models = make(map[uint64]*slm.Model, len(r.VTables))
+	for i, v := range r.VTables {
+		r.Models[v.Addr] = models[i]
 	}
 }
 
@@ -265,7 +321,18 @@ func (r *Result) familyWords(idx map[objtrace.Event]int, fam []uint64) [][]int {
 	return words
 }
 
-// buildHierarchy runs the per-family arborescence step.
+// familyOutcome is the result of analyzing one family in isolation.
+type familyOutcome struct {
+	fr   FamilyResult
+	dist map[[2]uint64]float64
+	err  error
+}
+
+// buildHierarchy runs the per-family arborescence step. Families are
+// mutually independent (each one's word set, distance matrix, and
+// arborescence depend only on its own members), so they are analyzed
+// concurrently into index-owned slots; the outcomes are merged in family
+// order, making the merged Result identical to a serial run.
 func (r *Result) buildHierarchy(cfg Config) error {
 	idx := r.symIndex()
 	r.Dist = map[[2]uint64]float64{}
@@ -276,70 +343,103 @@ func (r *Result) buildHierarchy(cfg Config) error {
 	}
 	r.Hierarchy = hierarchy.NewForest(all)
 
-	for _, fam := range r.Structural.Families {
-		fr := FamilyResult{Types: append([]uint64(nil), fam...)}
-		if len(fam) == 1 {
-			fr.Arbs = []map[uint64]uint64{{}}
-			r.Families = append(r.Families, fr)
-			continue
+	outs := make([]*familyOutcome, len(r.Structural.Families))
+	forEachIndex(cfg.Workers, len(r.Structural.Families), func(i int) {
+		outs[i] = r.analyzeFamily(cfg, idx, r.Structural.Families[i])
+	})
+
+	for i, out := range outs {
+		if out.err != nil {
+			return fmt.Errorf("core: family %v: %w", r.Structural.Families[i], out.err)
 		}
-		// Pairwise distances for every family-internal ordered pair (kept
-		// for reporting) and the candidate edge list, all over the family's
-		// shared word set.
-		words := r.familyWords(idx, fam)
-		maxD := 0.0
-		for _, p := range fam {
-			for _, c := range fam {
-				if p == c {
-					continue
-				}
-				d := slm.Distance(cfg.Metric, r.Models[p], r.Models[c], words)
-				r.Dist[[2]uint64{p, c}] = d
-				if d > maxD {
-					maxD = d
-				}
-			}
+		for pc, d := range out.dist {
+			r.Dist[pc] = d
 		}
-		// Graph: node 0 is the virtual root; types follow in family order.
-		nodeOf := map[uint64]int{}
-		for i, t := range fam {
-			nodeOf[t] = i + 1
-		}
-		rootW := maxD*cfg.RootWeightFactor + 1
-		var edges []arborescence.Edge
-		for i := range fam {
-			edges = append(edges, arborescence.Edge{From: 0, To: i + 1, W: rootW})
-		}
-		for _, c := range fam {
-			for _, p := range r.Structural.PossibleParents[c] {
-				edges = append(edges, arborescence.Edge{
-					From: nodeOf[p], To: nodeOf[c], W: r.Dist[[2]uint64{p, c}],
-				})
-			}
-		}
-		arbs, w, err := arborescence.EnumerateMin(len(fam)+1, 0, edges, cfg.EnumEps, cfg.EnumLimit)
-		if err != nil {
-			return fmt.Errorf("core: family %v: %w", fam, err)
-		}
-		arbs = arborescence.MajorityVote(arbs)
-		fr.Weight = w
-		for _, a := range arbs {
-			pm := map[uint64]uint64{}
-			for i, t := range fam {
-				if p := a[i+1]; p > 0 {
-					pm[t] = fam[p-1]
-				}
-			}
-			fr.Arbs = append(fr.Arbs, pm)
-		}
-		r.Families = append(r.Families, fr)
-		for c, p := range fr.Arbs[0] {
+		r.Families = append(r.Families, out.fr)
+		for c, p := range out.fr.Arbs[0] {
 			if err := r.Hierarchy.SetParent(c, p); err != nil {
 				return fmt.Errorf("core: building forest: %w", err)
 			}
 		}
 	}
 	return nil
+}
+
+// analyzeFamily computes one family's pairwise distance matrix and solves
+// its arborescence. The pairwise matrix is itself parallelized: first each
+// member's word distribution over the family's shared word set is derived
+// exactly once (the DistanceCalculator memoizes per model), then the n²
+// ordered pairs reduce the cached distributions, each pair writing its own
+// slot.
+func (r *Result) analyzeFamily(cfg Config, idx map[objtrace.Event]int, fam []uint64) *familyOutcome {
+	out := &familyOutcome{fr: FamilyResult{Types: append([]uint64(nil), fam...)}}
+	if len(fam) == 1 {
+		out.fr.Arbs = []map[uint64]uint64{{}}
+		return out
+	}
+	// Pairwise distances for every family-internal ordered pair (kept for
+	// reporting) and the candidate edge list, all over the family's shared
+	// word set.
+	words := r.familyWords(idx, fam)
+	calc := slm.NewDistanceCalculator(cfg.Metric, words)
+	n := len(fam)
+	forEachIndex(cfg.Workers, n, func(i int) {
+		calc.Precompute(r.Models[fam[i]])
+	})
+	dists := make([]float64, n*n)
+	forEachIndex(cfg.Workers, n*n, func(k int) {
+		p, c := fam[k/n], fam[k%n]
+		if p == c {
+			return
+		}
+		dists[k] = calc.Distance(r.Models[p], r.Models[c])
+	})
+	out.dist = make(map[[2]uint64]float64, n*(n-1))
+	maxD := 0.0
+	for k, d := range dists {
+		p, c := fam[k/n], fam[k%n]
+		if p == c {
+			continue
+		}
+		out.dist[[2]uint64{p, c}] = d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	// Graph: node 0 is the virtual root; types follow in family order.
+	nodeOf := map[uint64]int{}
+	for i, t := range fam {
+		nodeOf[t] = i + 1
+	}
+	rootW := maxD*cfg.RootWeightFactor + 1
+	var edges []arborescence.Edge
+	for i := range fam {
+		edges = append(edges, arborescence.Edge{From: 0, To: i + 1, W: rootW})
+	}
+	for _, c := range fam {
+		for _, p := range r.Structural.PossibleParents[c] {
+			edges = append(edges, arborescence.Edge{
+				From: nodeOf[p], To: nodeOf[c], W: out.dist[[2]uint64{p, c}],
+			})
+		}
+	}
+	arbs, w, err := arborescence.EnumerateMin(len(fam)+1, 0, edges, cfg.EnumEps, cfg.EnumLimit)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	arbs = arborescence.MajorityVote(arbs)
+	out.fr.Weight = w
+	for _, a := range arbs {
+		pm := map[uint64]uint64{}
+		for i, t := range fam {
+			if p := a[i+1]; p > 0 {
+				pm[t] = fam[p-1]
+			}
+		}
+		out.fr.Arbs = append(out.fr.Arbs, pm)
+	}
+	return out
 }
 
 // chooseMultiParents implements §5.3: a type whose instances received X

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/compiler"
+)
+
+// TestForEachIndex checks the worker-pool primitive: every index is
+// visited exactly once for serial and parallel pool sizes, including the
+// degenerate shapes (empty range, more workers than items).
+func TestForEachIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 13} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			hits := make([]int32, n)
+			forEachIndex(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeWorkerCountInvariance asserts the tentpole guarantee at the
+// core.Result level (deeper than the rock.Report view): the full pairwise
+// distance matrix, family outcomes including co-optimal arborescence sets
+// and weights, hierarchy, and multi-parent choices are identical for
+// serial and parallel runs.
+func TestAnalyzeWorkerCountInvariance(t *testing.T) {
+	img, _ := buildStripped(t, motivating(), compiler.DefaultOptions())
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	serial, err := Analyze(img, cfg)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		par, err := Analyze(img, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(serial.Dist, par.Dist) {
+			t.Errorf("workers=%d: Dist diverged", workers)
+		}
+		if !reflect.DeepEqual(serial.Families, par.Families) {
+			t.Errorf("workers=%d: Families diverged", workers)
+		}
+		if !reflect.DeepEqual(serial.MultiParents, par.MultiParents) {
+			t.Errorf("workers=%d: MultiParents diverged", workers)
+		}
+		for _, ty := range serial.VTables {
+			sp, sok := serial.Hierarchy.Parent(ty.Addr)
+			pp, pok := par.Hierarchy.Parent(ty.Addr)
+			if sok != pok || sp != pp {
+				t.Errorf("workers=%d: parent of 0x%x diverged", workers, ty.Addr)
+			}
+		}
+	}
+}

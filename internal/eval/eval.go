@@ -194,9 +194,15 @@ func countedTypes(b *bench.Benchmark, meta *image.Metadata) ([]uint64, error) {
 
 // RunAll evaluates every registered benchmark in Table 2 order.
 func RunAll() ([]*Row, error) {
+	return RunAllWithConfig(core.DefaultConfig())
+}
+
+// RunAllWithConfig evaluates every registered benchmark in Table 2 order
+// under a custom pipeline configuration (e.g. a fixed worker-pool size).
+func RunAllWithConfig(cfg core.Config) ([]*Row, error) {
 	var rows []*Row
 	for _, b := range bench.All() {
-		r, err := Run(b)
+		r, err := RunWithConfig(b, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,79 @@
+package image
+
+import (
+	"bytes"
+	"testing"
+)
+
+// seedImage builds a small well-formed image for the fuzz corpus.
+func seedImage(withMeta bool) *Image {
+	img := &Image{
+		Name:    "seed",
+		Code:    make([]byte, 64),
+		Rodata:  make([]byte, 32),
+		Entries: []uint64{CodeBase, CodeBase + 16, CodeBase + 48},
+		Imports: map[uint64]string{
+			ImportBase:     ImportAlloc,
+			ImportBase + 8: ImportFree,
+		},
+	}
+	if withMeta {
+		img.Meta = &Metadata{
+			Types: []TypeMeta{
+				{Name: "A", VTable: RodataBase},
+				{Name: "B", VTable: RodataBase + 16, Parent: RodataBase},
+			},
+			FuncNames:     map[uint64]string{CodeBase: "use_A"},
+			SourceParents: map[string]string{"B": "A"},
+		}
+	}
+	return img
+}
+
+// FuzzLoad feeds arbitrary bytes to the image loader. Malformed inputs
+// must be rejected with an error — never a panic or runaway allocation —
+// and any input the loader accepts must survive a Marshal/Load round trip
+// unchanged (the loader's validation must be at least as strict as the
+// writer's output).
+func FuzzLoad(f *testing.F) {
+	for _, withMeta := range []bool{false, true} {
+		data, err := seedImage(withMeta).Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		// Truncations and bit flips of a valid image reach deep parser states.
+		f.Add(data[:len(data)/2])
+		mutated := append([]byte(nil), data...)
+		mutated[len(mutated)/3] ^= 0xff
+		f.Add(mutated)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RBIN"))
+	f.Add([]byte("RBIN\x01\x00\x00\x00\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		img, err := Load(data)
+		if err != nil {
+			return
+		}
+		if img == nil {
+			t.Fatal("Load returned nil image without error")
+		}
+		re, err := img.Marshal()
+		if err != nil {
+			t.Fatalf("loaded image failed to marshal: %v", err)
+		}
+		img2, err := Load(re)
+		if err != nil {
+			t.Fatalf("round trip failed to load: %v", err)
+		}
+		re2, err := img2.Marshal()
+		if err != nil {
+			t.Fatalf("round trip failed to marshal: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatal("Marshal/Load round trip is not a fixed point")
+		}
+	})
+}

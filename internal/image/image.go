@@ -237,12 +237,21 @@ func Load(data []byte) (*Image, error) {
 	img.Name = string(r.lenBytes())
 	img.Code = append([]byte(nil), r.lenBytes()...)
 	img.Rodata = append([]byte(nil), r.lenBytes()...)
+	// Element counts are validated against the bytes actually remaining
+	// before looping: a corrupted count must fail fast, not drive a
+	// multi-gigabyte allocation loop on a truncated reader.
 	n := int(r.u32())
-	for i := 0; i < n; i++ {
+	if r.err == nil && n > r.remaining()/8 {
+		return nil, fmt.Errorf("image: entry count %d exceeds input size", n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
 		img.Entries = append(img.Entries, r.u64())
 	}
 	n = int(r.u32())
-	for i := 0; i < n; i++ {
+	if r.err == nil && n > r.remaining()/12 { // addr u64 + name length u32
+		return nil, fmt.Errorf("image: import count %d exceeds input size", n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
 		addr := r.u64()
 		img.Imports[addr] = string(r.lenBytes())
 	}
@@ -300,6 +309,9 @@ type reader struct {
 	pos  int
 	err  error
 }
+
+// remaining returns how many unread bytes are left.
+func (r *reader) remaining() int { return len(r.data) - r.pos }
 
 func (r *reader) bytes(n int) []byte {
 	if r.err != nil {

@@ -3,6 +3,7 @@ package slm
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Metric selects the pairwise type-distance criterion (§4.2.1 and the
@@ -68,20 +69,10 @@ func wordDist(m *Model, words [][]int) []float64 {
 	return ps
 }
 
-// KL returns D_KL(A || B) measured over the word set W:
-//
-//	D_KL(A||B) = sum_{w in W} Pr(A_w) ln( Pr(A_w) / Pr(B_w) )
-//
-// Words are sequences over the shared alphabet. Both models must have the
-// same alphabet.
-func KL(a, b *Model, words [][]int) float64 {
-	if len(words) == 0 {
-		return 0
-	}
-	pa := wordDist(a, words)
-	pb := wordDist(b, words)
+// klDist is the divergence kernel over two already-derived distributions.
+func klDist(pa, pb []float64) float64 {
 	d := 0.0
-	for i := range words {
+	for i := range pa {
 		if pa[i] <= 0 {
 			continue
 		}
@@ -94,16 +85,10 @@ func KL(a, b *Model, words [][]int) float64 {
 	return d
 }
 
-// JSDivergence returns the Jensen–Shannon divergence between the two models
-// over the word set.
-func JSDivergence(a, b *Model, words [][]int) float64 {
-	if len(words) == 0 {
-		return 0
-	}
-	pa := wordDist(a, words)
-	pb := wordDist(b, words)
+// jsDist is the Jensen–Shannon kernel over two distributions.
+func jsDist(pa, pb []float64) float64 {
 	d := 0.0
-	for i := range words {
+	for i := range pa {
 		m := (pa[i] + pb[i]) / 2
 		if m <= 0 {
 			continue
@@ -116,6 +101,28 @@ func JSDivergence(a, b *Model, words [][]int) float64 {
 		}
 	}
 	return d
+}
+
+// KL returns D_KL(A || B) measured over the word set W:
+//
+//	D_KL(A||B) = sum_{w in W} Pr(A_w) ln( Pr(A_w) / Pr(B_w) )
+//
+// Words are sequences over the shared alphabet. Both models must have the
+// same alphabet.
+func KL(a, b *Model, words [][]int) float64 {
+	if len(words) == 0 {
+		return 0
+	}
+	return klDist(wordDist(a, words), wordDist(b, words))
+}
+
+// JSDivergence returns the Jensen–Shannon divergence between the two models
+// over the word set.
+func JSDivergence(a, b *Model, words [][]int) float64 {
+	if len(words) == 0 {
+		return 0
+	}
+	return jsDist(wordDist(a, words), wordDist(b, words))
 }
 
 // JSDistance returns sqrt(JSDivergence), which satisfies the triangle
@@ -133,5 +140,81 @@ func Distance(metric Metric, a, b *Model, words [][]int) float64 {
 		return JSDistance(a, b, words)
 	default:
 		return KL(a, b, words)
+	}
+}
+
+// DistanceCalculator computes pairwise model distances over one fixed word
+// set, caching each model's word distribution so it is derived once per
+// (model, word set) instead of once per pair. Deriving a distribution costs
+// one model evaluation per word (the expensive part: PPM-C backoff per
+// symbol); the divergence itself is a cheap reduction over the two cached
+// vectors. A family of n types therefore pays n evaluations instead of the
+// 2·n·(n-1) a naive pairwise sweep performs.
+//
+// A calculator is safe for concurrent use: distributions may be warmed from
+// several goroutines (Precompute) and Distance may be called concurrently.
+// Results are bit-identical to the package-level Distance function — the
+// same kernels run over the same distributions in the same order.
+type DistanceCalculator struct {
+	metric Metric
+	words  [][]int
+
+	mu    sync.Mutex
+	cache map[*Model][]float64
+}
+
+// NewDistanceCalculator returns a calculator for the given metric and word
+// set. The word set must not be mutated afterwards.
+func NewDistanceCalculator(metric Metric, words [][]int) *DistanceCalculator {
+	return &DistanceCalculator{
+		metric: metric,
+		words:  words,
+		cache:  make(map[*Model][]float64),
+	}
+}
+
+// Words returns the word set the calculator measures over.
+func (c *DistanceCalculator) Words() [][]int { return c.words }
+
+// Precompute derives and caches the word distribution of m. Calling it
+// ahead of the pairwise sweep (possibly from several goroutines, one model
+// each) makes every subsequent Distance a pure cache hit.
+func (c *DistanceCalculator) Precompute(m *Model) { c.distribution(m) }
+
+// distribution returns m's cached word distribution, deriving it on miss.
+// The derivation runs outside the lock; if two goroutines race on the same
+// model the loser discards its (identical) result.
+func (c *DistanceCalculator) distribution(m *Model) []float64 {
+	c.mu.Lock()
+	d, ok := c.cache[m]
+	c.mu.Unlock()
+	if ok {
+		return d
+	}
+	d = wordDist(m, c.words)
+	c.mu.Lock()
+	if prev, ok := c.cache[m]; ok {
+		d = prev
+	} else {
+		c.cache[m] = d
+	}
+	c.mu.Unlock()
+	return d
+}
+
+// Distance returns the metric distance from a to b over the calculator's
+// word set; it equals Distance(metric, a, b, words).
+func (c *DistanceCalculator) Distance(a, b *Model) float64 {
+	if len(c.words) == 0 {
+		return 0
+	}
+	pa, pb := c.distribution(a), c.distribution(b)
+	switch c.metric {
+	case MetricJSDivergence:
+		return jsDist(pa, pb)
+	case MetricJSDistance:
+		return math.Sqrt(jsDist(pa, pb))
+	default:
+		return klDist(pa, pb)
 	}
 }

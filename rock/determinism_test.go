@@ -1,0 +1,59 @@
+package rock
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestReportDeterminismAcrossWorkers is the core guard for the parallel
+// pipeline: analyzing every Table 2 benchmark with Workers: 1 (the fully
+// serial path) and Workers: 8 must produce deep-equal Reports — same
+// types, families, candidate relations, edges, and multi-parent sets. The
+// parallel stages write only to index-owned slots and are merged in a
+// fixed order, so any divergence is a scheduling-dependent bug.
+func TestReportDeterminismAcrossWorkers(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			img, _, err := b.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			serial, err := AnalyzeImage(img, Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("serial analysis: %v", err)
+			}
+			parallel, err := AnalyzeImage(img, Options{Workers: 8})
+			if err != nil {
+				t.Fatalf("parallel analysis: %v", err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				diffReports(t, serial, parallel)
+			}
+		})
+	}
+}
+
+// diffReports reports which Report fields diverged, field by field, so a
+// determinism regression names the guilty pipeline stage instead of
+// printing two opaque structs.
+func diffReports(t *testing.T, serial, parallel *Report) {
+	t.Helper()
+	check := func(name string, a, b any) {
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s diverged between Workers:1 and Workers:8\n serial:   %v\n parallel: %v", name, a, b)
+		}
+	}
+	check("Types", serial.Types, parallel.Types)
+	check("Families", serial.Families, parallel.Families)
+	check("PossibleParents", serial.PossibleParents, parallel.PossibleParents)
+	check("StructurallyResolved", serial.StructurallyResolved, parallel.StructurallyResolved)
+	check("Edges", serial.Edges, parallel.Edges)
+	check("MultiParents", serial.MultiParents, parallel.MultiParents)
+	check("GroundTruthEdges", serial.GroundTruthEdges, parallel.GroundTruthEdges)
+	if !t.Failed() {
+		t.Errorf("reports diverged in an unexported field")
+	}
+}

@@ -42,6 +42,11 @@ type Options struct {
 	// paper's "without SLMs" baseline: only type families and the
 	// possible-parents relation are reported.
 	StructuralOnly bool
+	// Workers bounds the analysis concurrency (SLM training, pairwise
+	// distance matrices, per-family arborescences). 0 uses all CPUs
+	// (runtime.GOMAXPROCS); 1 runs fully serially. The Report is identical
+	// for every value.
+	Workers int
 }
 
 // Type describes one discovered binary type.
@@ -121,6 +126,7 @@ func AnalyzeImage(img *image.Image, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("rock: unknown metric %q", opts.Metric)
 	}
 	cfg.UseSLM = !opts.StructuralOnly
+	cfg.Workers = opts.Workers
 
 	res, err := core.Analyze(stripped, cfg)
 	if err != nil {
