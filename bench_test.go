@@ -303,3 +303,68 @@ func BenchmarkSLMTraining(b *testing.B) {
 		}
 	}
 }
+
+// slmQueryFixture trains two deterministic PPM-C models on overlapping
+// corpora (the shape of one family's model pair) and returns them with a
+// word set — the workload of the frozen-kernel benchmarks below and of
+// `rockbench -slm`.
+func slmQueryFixture() (a, b *slm.Model, words [][]int) {
+	const alpha = 24
+	a, b = slm.New(2, alpha), slm.New(2, alpha)
+	words = make([][]int, 256)
+	for i := range words {
+		w := make([]int, 7)
+		for j := range w {
+			w[j] = (i*31 + j*17 + i*i%13) % alpha
+		}
+		words[i] = w
+		if i%2 == 0 {
+			a.Train(w)
+		}
+		if i%3 != 0 {
+			b.Train(w)
+		}
+	}
+	return a, b, words
+}
+
+// BenchmarkLogProbSeq measures the per-word PPM-C query kernel: the
+// map-based builder trie against the frozen flat trie driven through a
+// reusable Querier. The frozen path must report 0 allocs/op.
+func BenchmarkLogProbSeq(b *testing.B) {
+	m, _, words := slmQueryFixture()
+	f := m.Freeze()
+	q := f.NewQuerier()
+	b.Run("Builder", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.LogProbSeq(words[i%len(words)])
+		}
+	})
+	b.Run("Frozen", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			q.LogProbSeq(words[i%len(words)])
+		}
+	})
+}
+
+// BenchmarkWordDist measures deriving one model's normalized distribution
+// over a family word set — the unit the DistanceCalculator memoizes, and
+// the dominant cost of the behavioral analysis.
+func BenchmarkWordDist(b *testing.B) {
+	m, _, words := slmQueryFixture()
+	f := m.Freeze()
+	b.Run("Builder", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			slm.WordDistribution(m, words)
+		}
+	})
+	b.Run("Frozen", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			slm.WordDistribution(f, words)
+		}
+	})
+}

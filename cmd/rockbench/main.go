@@ -11,11 +11,18 @@
 //	rockbench -scale        §3.2 scalability: synthetic programs, 50-800 types
 //	rockbench -pipeline     serial vs parallel pipeline wall-clock on the
 //	                        largest benchmark (-json FILE writes the result)
+//	rockbench -slm          SLM micro-bench: map-based builder vs frozen
+//	                        flat-trie query kernel (-json FILE writes the
+//	                        result, e.g. BENCH_slm.json)
 //	rockbench -emit DIR     write every benchmark image to DIR (for cmd/rock)
 //	rockbench -all          everything above except -emit
 //
 // The global -workers flag bounds the analysis worker pool in every mode
-// (0 = all CPUs, 1 = serial).
+// (0 = all CPUs, 1 = serial). -cpuprofile FILE and -memprofile FILE write
+// pprof profiles covering whichever experiments ran, so perf work can
+// measure instead of guess:
+//
+//	rockbench -table2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"time"
 
@@ -57,12 +65,42 @@ func main() {
 	metrics := flag.Bool("metrics", false, "run the §6.4 metric ablation")
 	scale := flag.Bool("scale", false, "run the scalability sweep")
 	pipeline := flag.Bool("pipeline", false, "measure serial vs parallel pipeline wall-clock")
-	jsonOut := flag.String("json", "", "write the -pipeline result to this JSON file")
+	slmBench := flag.Bool("slm", false, "measure the builder vs frozen SLM query kernel")
+	jsonOut := flag.String("json", "", "write the -pipeline or -slm result to this JSON file")
 	emit := flag.String("emit", "", "write benchmark images to this directory")
 	all := flag.Bool("all", false, "run every experiment")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file")
 	flag.Parse()
 	if *all {
-		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline = true, true, true, true, true, true, true
+		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench = true, true, true, true, true, true, true, true
+	}
+	if *jsonOut != "" && *pipeline && *slmBench {
+		fatal(fmt.Errorf("-json names a single output file; run -pipeline and -slm separately"))
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 	ran := false
 	if *table2 {
@@ -92,6 +130,14 @@ func main() {
 	if *pipeline {
 		ran = true
 		runPipeline(*jsonOut)
+	}
+	if *slmBench {
+		ran = true
+		jp := *jsonOut
+		if *pipeline {
+			jp = "" // -all: the single -json path belongs to -pipeline
+		}
+		runSLMBench(jp)
 	}
 	if *emit != "" {
 		ran = true
@@ -357,6 +403,105 @@ func runPipeline(jsonPath string) {
 	if !identical {
 		fatal(fmt.Errorf("parallel pipeline diverged from the serial pipeline"))
 	}
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+}
+
+// slmResult is the JSON record emitted by -slm (the CI artifact
+// BENCH_slm.json): the map-based builder trie against the frozen
+// flat-trie kernel on the same deterministic corpus the repository's
+// BenchmarkLogProbSeq/BenchmarkWordDist use.
+type slmResult struct {
+	Alphabet          int     `json:"alphabet"`
+	Depth             int     `json:"depth"`
+	Words             int     `json:"words"`
+	BuilderSeqNS      float64 `json:"builder_logprobseq_ns"`
+	FrozenSeqNS       float64 `json:"frozen_logprobseq_ns"`
+	SeqSpeedup        float64 `json:"logprobseq_speedup"`
+	BuilderWordDistNS float64 `json:"builder_worddist_ns"`
+	FrozenWordDistNS  float64 `json:"frozen_worddist_ns"`
+	WordDistSpeedup   float64 `json:"worddist_speedup"`
+	BuilderSeqAllocs  float64 `json:"builder_logprobseq_allocs"`
+	FrozenSeqAllocs   float64 `json:"frozen_logprobseq_allocs"`
+	BuilderSeqBytes   float64 `json:"builder_logprobseq_bytes"`
+	FrozenSeqBytes    float64 `json:"frozen_logprobseq_bytes"`
+}
+
+// measureOp times fn in a ~200ms loop and reports ns, heap allocations,
+// and heap bytes per call (the rockbench equivalent of -benchmem).
+func measureOp(fn func()) (nsPerOp, allocsPerOp, bytesPerOp float64) {
+	fn() // warm up
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < 200*time.Millisecond {
+		fn()
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := float64(iters)
+	return float64(elapsed.Nanoseconds()) / n,
+		float64(after.Mallocs-before.Mallocs) / n,
+		float64(after.TotalAlloc-before.TotalAlloc) / n
+}
+
+// runSLMBench measures the PPM-C query kernel in isolation: per-word
+// LogProbSeq and per-model word-distribution derivation, builder vs
+// frozen, on a deterministic corpus (alphabet 24, depth 2, 256 words of
+// length 7 — the shape of one family's sweep).
+func runSLMBench(jsonPath string) {
+	fmt.Println("== SLM kernel: map-based builder vs frozen flat trie ==")
+	const alpha, depth, nWords, wordLen = 24, 2, 256, 7
+	builder := slm.New(depth, alpha)
+	words := make([][]int, nWords)
+	for i := range words {
+		w := make([]int, wordLen)
+		for j := range w {
+			w[j] = (i*31 + j*17 + i*i%13) % alpha
+		}
+		words[i] = w
+		if i%2 == 0 {
+			builder.Train(w)
+		}
+	}
+	frozen := builder.Freeze()
+	querier := frozen.NewQuerier()
+
+	out := slmResult{Alphabet: alpha, Depth: depth, Words: nWords}
+	i := 0
+	out.BuilderSeqNS, out.BuilderSeqAllocs, out.BuilderSeqBytes = measureOp(func() {
+		builder.LogProbSeq(words[i%nWords])
+		i++
+	})
+	i = 0
+	out.FrozenSeqNS, out.FrozenSeqAllocs, out.FrozenSeqBytes = measureOp(func() {
+		querier.LogProbSeq(words[i%nWords])
+		i++
+	})
+	out.BuilderWordDistNS, _, _ = measureOp(func() { slm.WordDistribution(builder, words) })
+	out.FrozenWordDistNS, _, _ = measureOp(func() { slm.WordDistribution(frozen, words) })
+	out.SeqSpeedup = out.BuilderSeqNS / out.FrozenSeqNS
+	out.WordDistSpeedup = out.BuilderWordDistNS / out.FrozenWordDistNS
+
+	fmt.Printf("  corpus: alphabet %d, depth %d, %d words of length %d (%d trie nodes)\n",
+		alpha, depth, nWords, wordLen, frozen.Nodes())
+	fmt.Printf("  LogProbSeq  builder: %8.0f ns/op  %6.1f allocs/op  %7.0f B/op\n",
+		out.BuilderSeqNS, out.BuilderSeqAllocs, out.BuilderSeqBytes)
+	fmt.Printf("  LogProbSeq  frozen:  %8.0f ns/op  %6.1f allocs/op  %7.0f B/op  (%.2fx)\n",
+		out.FrozenSeqNS, out.FrozenSeqAllocs, out.FrozenSeqBytes, out.SeqSpeedup)
+	fmt.Printf("  wordDist    builder: %8.0f ns/op\n", out.BuilderWordDistNS)
+	fmt.Printf("  wordDist    frozen:  %8.0f ns/op  (%.2fx)\n", out.FrozenWordDistNS, out.WordDistSpeedup)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {

@@ -94,6 +94,12 @@ type Result struct {
 	Tracelets  *objtrace.Result
 	// Models maps each type to its trained SLM (UseSLM only).
 	Models map[uint64]*slm.Model
+	// Frozen maps each type to the frozen flat-trie form of its SLM
+	// (UseSLM only). Every model is frozen immediately after training and
+	// the distance sweep queries only the frozen forms; Models is kept as
+	// the mutable training representation (and for Dump-style reporting).
+	// The two answer identically — frozen queries are bit-identical.
+	Frozen map[uint64]*slm.Frozen
 	// Dist holds the pairwise distances computed for family-internal
 	// ordered pairs [parent, child] (UseSLM only).
 	Dist map[[2]uint64]float64
@@ -262,10 +268,11 @@ func forEachIndex(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// trainModels trains one SLM per discovered type on TT(t). Types are
-// independent (each model sees only its own tracelets), so training fans
-// out over the worker pool; models land in index-owned slots and the map
-// is assembled serially.
+// trainModels trains one SLM per discovered type on TT(t) and freezes it
+// into its flat-trie query form. Types are independent (each model sees
+// only its own tracelets), so training and freezing fan out over the
+// worker pool; models land in index-owned slots and the maps are
+// assembled serially.
 func (r *Result) trainModels(cfg Config) {
 	idx := r.symIndex()
 	alpha := len(r.Alphabet)
@@ -273,16 +280,20 @@ func (r *Result) trainModels(cfg Config) {
 		alpha = 1
 	}
 	models := make([]*slm.Model, len(r.VTables))
+	frozen := make([]*slm.Frozen, len(r.VTables))
 	forEachIndex(cfg.Workers, len(r.VTables), func(i int) {
 		m := slm.New(cfg.SLMDepth, alpha)
 		for _, tl := range r.Tracelets.PerType[r.VTables[i].Addr] {
 			m.Train(encode(idx, tl))
 		}
 		models[i] = m
+		frozen[i] = m.Freeze()
 	})
 	r.Models = make(map[uint64]*slm.Model, len(r.VTables))
+	r.Frozen = make(map[uint64]*slm.Frozen, len(r.VTables))
 	for i, v := range r.VTables {
 		r.Models[v.Addr] = models[i]
+		r.Frozen[v.Addr] = frozen[i]
 	}
 }
 
@@ -370,7 +381,8 @@ func (r *Result) buildHierarchy(cfg Config) error {
 // member's word distribution over the family's shared word set is derived
 // exactly once (the DistanceCalculator memoizes per model), then the n²
 // ordered pairs reduce the cached distributions, each pair writing its own
-// slot.
+// slot. All model evaluation goes through the frozen flat tries — the
+// allocation-free kernel — which are bit-identical to the builders.
 func (r *Result) analyzeFamily(cfg Config, idx map[objtrace.Event]int, fam []uint64) *familyOutcome {
 	out := &familyOutcome{fr: FamilyResult{Types: append([]uint64(nil), fam...)}}
 	if len(fam) == 1 {
@@ -384,7 +396,7 @@ func (r *Result) analyzeFamily(cfg Config, idx map[objtrace.Event]int, fam []uin
 	calc := slm.NewDistanceCalculator(cfg.Metric, words)
 	n := len(fam)
 	forEachIndex(cfg.Workers, n, func(i int) {
-		calc.Precompute(r.Models[fam[i]])
+		calc.Precompute(r.Frozen[fam[i]])
 	})
 	dists := make([]float64, n*n)
 	forEachIndex(cfg.Workers, n*n, func(k int) {
@@ -392,7 +404,7 @@ func (r *Result) analyzeFamily(cfg Config, idx map[objtrace.Event]int, fam []uin
 		if p == c {
 			return
 		}
-		dists[k] = calc.Distance(r.Models[p], r.Models[c])
+		dists[k] = calc.Distance(r.Frozen[p], r.Frozen[c])
 	})
 	out.dist = make(map[[2]uint64]float64, n*(n-1))
 	maxD := 0.0

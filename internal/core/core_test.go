@@ -116,6 +116,35 @@ func TestMotivatingExamplePipeline(t *testing.T) {
 	}
 }
 
+// TestFrozenModelsMatchBuilders: the pipeline freezes every trained SLM
+// and the distance sweep runs over the frozen forms; the two
+// representations must agree bit for bit on the tracelets the pipeline
+// actually scores, and every discovered type must carry both.
+func TestFrozenModelsMatchBuilders(t *testing.T) {
+	img, _ := buildStripped(t, motivating(), compiler.DefaultOptions())
+	res, err := Analyze(img, DefaultConfig())
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	idx := res.symIndex()
+	for _, v := range res.VTables {
+		m, f := res.Models[v.Addr], res.Frozen[v.Addr]
+		if m == nil || f == nil {
+			t.Fatalf("type 0x%x: missing model (%v) or frozen form (%v)", v.Addr, m, f)
+		}
+		q := f.NewQuerier()
+		for _, other := range res.VTables {
+			for _, tl := range res.Tracelets.PerType[other.Addr] {
+				w := encode(idx, tl)
+				got, want := q.LogProbSeq(w), m.LogProbSeq(w)
+				if got != want {
+					t.Fatalf("type 0x%x, word %v: frozen %v != builder %v", v.Addr, w, got, want)
+				}
+			}
+		}
+	}
+}
+
 func TestMotivatingStructuralCuesPreserved(t *testing.T) {
 	// With parent-constructor calls preserved (debug-friendly build), the
 	// structural analysis alone resolves the hierarchy via rule 3.

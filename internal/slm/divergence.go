@@ -37,19 +37,27 @@ func (m Metric) String() string {
 	return fmt.Sprintf("metric(%d)", int(m))
 }
 
+// WordScorer is a trained PPM-C model viewed as a batch scorer: it fills
+// out (reused when capacity allows, else reallocated) with ln Pr(w) for
+// every word and returns it. Both the map-based training representation
+// (*Model) and its frozen flat-trie form (*Frozen) implement it, and both
+// produce bit-identical scores, so every divergence below accepts either.
+type WordScorer interface {
+	LogProbWords(words [][]int, out []float64) []float64
+}
+
 // wordDist evaluates the model on every word and normalizes to a proper
 // distribution over the word set, so the divergences below are divergences
 // between distributions (the relative-entropy reading of §4.2.1: popular
 // behaviours weigh more than rare ones).
-func wordDist(m *Model, words [][]int) []float64 {
+func wordDist(m WordScorer, words [][]int) []float64 {
 	ps := make([]float64, len(words))
 	// Work from log-probabilities with a max-shift for numerical stability.
+	lps := m.LogProbWords(words, nil)
 	maxLp := math.Inf(-1)
-	lps := make([]float64, len(words))
-	for i, w := range words {
-		lps[i] = m.LogProbSeq(w)
-		if lps[i] > maxLp {
-			maxLp = lps[i]
+	for _, lp := range lps {
+		if lp > maxLp {
+			maxLp = lp
 		}
 	}
 	sum := 0.0
@@ -67,6 +75,14 @@ func wordDist(m *Model, words [][]int) []float64 {
 		ps[i] /= sum
 	}
 	return ps
+}
+
+// WordDistribution returns the model's normalized distribution over the
+// word set — the Pr(M_w) vector of §4.2.1 that the divergences reduce.
+// Exported for benchmarks and diagnostics; builder and frozen scorers
+// return bit-identical vectors.
+func WordDistribution(m WordScorer, words [][]int) []float64 {
+	return wordDist(m, words)
 }
 
 // klDist is the divergence kernel over two already-derived distributions.
@@ -109,7 +125,7 @@ func jsDist(pa, pb []float64) float64 {
 //
 // Words are sequences over the shared alphabet. Both models must have the
 // same alphabet.
-func KL(a, b *Model, words [][]int) float64 {
+func KL(a, b WordScorer, words [][]int) float64 {
 	if len(words) == 0 {
 		return 0
 	}
@@ -118,7 +134,7 @@ func KL(a, b *Model, words [][]int) float64 {
 
 // JSDivergence returns the Jensen–Shannon divergence between the two models
 // over the word set.
-func JSDivergence(a, b *Model, words [][]int) float64 {
+func JSDivergence(a, b WordScorer, words [][]int) float64 {
 	if len(words) == 0 {
 		return 0
 	}
@@ -127,12 +143,12 @@ func JSDivergence(a, b *Model, words [][]int) float64 {
 
 // JSDistance returns sqrt(JSDivergence), which satisfies the triangle
 // inequality.
-func JSDistance(a, b *Model, words [][]int) float64 {
+func JSDistance(a, b WordScorer, words [][]int) float64 {
 	return math.Sqrt(JSDivergence(a, b, words))
 }
 
 // Distance dispatches on the metric.
-func Distance(metric Metric, a, b *Model, words [][]int) float64 {
+func Distance(metric Metric, a, b WordScorer, words [][]int) float64 {
 	switch metric {
 	case MetricJSDivergence:
 		return JSDivergence(a, b, words)
@@ -154,13 +170,15 @@ func Distance(metric Metric, a, b *Model, words [][]int) float64 {
 // A calculator is safe for concurrent use: distributions may be warmed from
 // several goroutines (Precompute) and Distance may be called concurrently.
 // Results are bit-identical to the package-level Distance function — the
-// same kernels run over the same distributions in the same order.
+// same kernels run over the same distributions in the same order. Scorers
+// are cached by identity, so pass frozen models (the pipeline does) or
+// builders consistently, not a mix of both forms of one model.
 type DistanceCalculator struct {
 	metric Metric
 	words  [][]int
 
 	mu    sync.Mutex
-	cache map[*Model][]float64
+	cache map[WordScorer][]float64
 }
 
 // NewDistanceCalculator returns a calculator for the given metric and word
@@ -169,7 +187,7 @@ func NewDistanceCalculator(metric Metric, words [][]int) *DistanceCalculator {
 	return &DistanceCalculator{
 		metric: metric,
 		words:  words,
-		cache:  make(map[*Model][]float64),
+		cache:  make(map[WordScorer][]float64),
 	}
 }
 
@@ -179,12 +197,12 @@ func (c *DistanceCalculator) Words() [][]int { return c.words }
 // Precompute derives and caches the word distribution of m. Calling it
 // ahead of the pairwise sweep (possibly from several goroutines, one model
 // each) makes every subsequent Distance a pure cache hit.
-func (c *DistanceCalculator) Precompute(m *Model) { c.distribution(m) }
+func (c *DistanceCalculator) Precompute(m WordScorer) { c.distribution(m) }
 
 // distribution returns m's cached word distribution, deriving it on miss.
 // The derivation runs outside the lock; if two goroutines race on the same
 // model the loser discards its (identical) result.
-func (c *DistanceCalculator) distribution(m *Model) []float64 {
+func (c *DistanceCalculator) distribution(m WordScorer) []float64 {
 	c.mu.Lock()
 	d, ok := c.cache[m]
 	c.mu.Unlock()
@@ -204,7 +222,7 @@ func (c *DistanceCalculator) distribution(m *Model) []float64 {
 
 // Distance returns the metric distance from a to b over the calculator's
 // word set; it equals Distance(metric, a, b, words).
-func (c *DistanceCalculator) Distance(a, b *Model) float64 {
+func (c *DistanceCalculator) Distance(a, b WordScorer) float64 {
 	if len(c.words) == 0 {
 		return 0
 	}

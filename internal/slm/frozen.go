@@ -1,0 +1,340 @@
+package slm
+
+import (
+	"math"
+	"sort"
+)
+
+// Frozen is an immutable, flat representation of a trained Model, built
+// once after training by Model.Freeze. Where the builder trie chases
+// map[int]*node pointers, a frozen model is one contiguous node array
+// whose per-node symbol counts and children live as sorted spans inside
+// two shared backing arenas, so a query touches a handful of adjacent
+// cache lines and performs binary searches instead of map lookups. A
+// frozen model answers exactly the same queries as its builder —
+// bit-identical log-probabilities (guarded by the property tests in
+// frozen_test.go) — but never allocates on the query path when driven
+// through a Querier.
+type Frozen struct {
+	depth    int
+	alphabet int
+	trained  int
+	// nodes[0] is the root (the order-0 context).
+	nodes []frozenNode
+	// syms/counts hold every node's sorted (symbol, count) pairs,
+	// concatenated; a node owns syms[symOff : symOff+symN].
+	syms   []int32
+	counts []int32
+	// childSyms/childNodes hold every node's sorted (symbol, child index)
+	// pairs, concatenated; a node owns childSyms[childOff : childOff+childN].
+	childSyms  []int32
+	childNodes []int32
+}
+
+// frozenNode is one context of the flat trie: two spans into the shared
+// arenas plus the precomputed occurrence total. The distinct-symbol count
+// of the context is symN.
+type frozenNode struct {
+	symOff, symN     int32
+	childOff, childN int32
+	total            int32
+}
+
+// Freeze converts the trained model into its frozen form. The builder is
+// left untouched (it remains the mutable training representation); the
+// frozen copy shares nothing with it. Nodes are laid out in preorder with
+// children visited in ascending symbol order, so freezing is
+// deterministic.
+func (m *Model) Freeze() *Frozen {
+	// Pre-pass: size the arenas exactly.
+	var nNodes, nSyms, nKids int
+	var count func(n *node)
+	count = func(n *node) {
+		nNodes++
+		nSyms += len(n.counts)
+		nKids += len(n.children)
+		for _, c := range n.children {
+			count(c)
+		}
+	}
+	count(m.root)
+
+	f := &Frozen{
+		depth:      m.depth,
+		alphabet:   m.alphabet,
+		trained:    m.trained,
+		nodes:      make([]frozenNode, 0, nNodes),
+		syms:       make([]int32, 0, nSyms),
+		counts:     make([]int32, 0, nSyms),
+		childSyms:  make([]int32, 0, nKids),
+		childNodes: make([]int32, 0, nKids),
+	}
+	var scratch []int
+	var freeze func(n *node) int32
+	freeze = func(n *node) int32 {
+		idx := int32(len(f.nodes))
+		fn := frozenNode{
+			symOff:   int32(len(f.syms)),
+			symN:     int32(len(n.counts)),
+			childOff: int32(len(f.childSyms)),
+			childN:   int32(len(n.children)),
+			total:    int32(n.total),
+		}
+		f.nodes = append(f.nodes, fn)
+		scratch = scratch[:0]
+		for s := range n.counts {
+			scratch = append(scratch, s)
+		}
+		sort.Ints(scratch)
+		for _, s := range scratch {
+			f.syms = append(f.syms, int32(s))
+			f.counts = append(f.counts, int32(n.counts[s]))
+		}
+		scratch = scratch[:0]
+		for s := range n.children {
+			scratch = append(scratch, s)
+		}
+		sort.Ints(scratch)
+		// Reserve the child span before recursing so it stays contiguous;
+		// the recursion appends grandchildren's spans after it.
+		kids := make([]int, len(scratch))
+		copy(kids, scratch)
+		for _, s := range kids {
+			f.childSyms = append(f.childSyms, int32(s))
+			f.childNodes = append(f.childNodes, 0)
+		}
+		for i, s := range kids {
+			f.childNodes[fn.childOff+int32(i)] = freeze(n.children[s])
+		}
+		return idx
+	}
+	freeze(m.root)
+	return f
+}
+
+// Depth returns the maximum context length D.
+func (f *Frozen) Depth() int { return f.depth }
+
+// Alphabet returns the alphabet size.
+func (f *Frozen) Alphabet() int { return f.alphabet }
+
+// Trained returns how many sequences the source model was trained on.
+func (f *Frozen) Trained() int { return f.trained }
+
+// Nodes returns the number of contexts in the trie (diagnostics).
+func (f *Frozen) Nodes() int { return len(f.nodes) }
+
+// child returns the index of node n's child for symbol s, or -1. Spans
+// are sorted by symbol; small spans scan linearly (cheaper than binary
+// search at trie fan-outs), large ones binary-search.
+func (f *Frozen) child(n int32, s int32) int32 {
+	fn := &f.nodes[n]
+	lo, hi := fn.childOff, fn.childOff+fn.childN
+	if fn.childN <= 8 {
+		for i := lo; i < hi; i++ {
+			if f.childSyms[i] == s {
+				return f.childNodes[i]
+			}
+		}
+		return -1
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch c := f.childSyms[mid]; {
+		case c < s:
+			lo = mid + 1
+		case c > s:
+			hi = mid
+		default:
+			return f.childNodes[mid]
+		}
+	}
+	return -1
+}
+
+// LogProb returns ln Pr(sym | hist); it equals Model.LogProb bit for bit.
+// It allocates a one-shot Querier — hot paths should hold a Querier (or
+// use LogProbWords) and query through it instead.
+func (f *Frozen) LogProb(sym int, hist []int) float64 {
+	return f.NewQuerier().LogProb(sym, hist)
+}
+
+// Prob returns Pr(sym | hist).
+func (f *Frozen) Prob(sym int, hist []int) float64 {
+	return math.Exp(f.LogProb(sym, hist))
+}
+
+// LogProbSeq returns ln Pr(seq); it equals Model.LogProbSeq bit for bit.
+// Like LogProb it allocates a one-shot Querier.
+func (f *Frozen) LogProbSeq(seq []int) float64 {
+	return f.NewQuerier().LogProbSeq(seq)
+}
+
+// LogProbWords scores every word with one scratch Querier (one setup
+// allocation for the whole batch, none per word). See WordScorer.
+func (f *Frozen) LogProbWords(words [][]int, out []float64) []float64 {
+	return f.NewQuerier().LogProbWords(words, out)
+}
+
+// Querier carries the per-query scratch state of a frozen model so the
+// hot loop performs zero allocations: an epoch-stamped exclusion array
+// sized to the alphabet (clearing it per query is a single counter
+// increment, not an O(alphabet) wipe) and the context-node stack. A
+// Querier is cheap (one allocation of alphabet uint32s) but not safe for
+// concurrent use; give each goroutine its own.
+type Querier struct {
+	f *Frozen
+	// exclEpoch[s] == epoch marks symbol s excluded in the current query.
+	exclEpoch []uint32
+	epoch     uint32
+	// nexcl counts the distinct symbols excluded in the current query.
+	nexcl int
+	// ctx is the reusable context-node stack (root..deepest).
+	ctx []int32
+}
+
+// NewQuerier returns fresh scratch state for querying f.
+func (f *Frozen) NewQuerier() *Querier {
+	return &Querier{
+		f:         f,
+		exclEpoch: make([]uint32, f.alphabet),
+		ctx:       make([]int32, 0, f.depth+1),
+	}
+}
+
+// Model returns the frozen model this querier scores against.
+func (q *Querier) Model() *Frozen { return q.f }
+
+// LogProb returns ln Pr(sym | hist) under PPM-C with the same query-time
+// update exclusion as Model.LogProb, allocation-free. The two paths run
+// the identical arithmetic in the identical order (integer count sums,
+// then one Log per backoff level), so the results are bit-identical.
+func (q *Querier) LogProb(sym int, hist []int) float64 {
+	f := q.f
+	// Context chain root -> deepest context seen in training.
+	q.ctx = append(q.ctx[:0], 0)
+	n := int32(0)
+	for k := 1; k <= f.depth && k <= len(hist); k++ {
+		c := hist[len(hist)-k]
+		if c < 0 || c >= f.alphabet {
+			break // symbol outside the alphabet: no trained context has it
+		}
+		child := f.child(n, int32(c))
+		if child < 0 {
+			break
+		}
+		n = child
+		q.ctx = append(q.ctx, n)
+	}
+	// New exclusion epoch; on uint32 wraparound wipe the stale stamps once.
+	q.epoch++
+	if q.epoch == 0 {
+		for i := range q.exclEpoch {
+			q.exclEpoch[i] = 0
+		}
+		q.epoch = 1
+	}
+	q.nexcl = 0
+
+	lp := 0.0
+	for k := len(q.ctx) - 1; k >= 0; k-- {
+		nd := &f.nodes[q.ctx[k]]
+		total, distinct := 0, 0
+		symCount := -1
+		for i := nd.symOff; i < nd.symOff+nd.symN; i++ {
+			s := f.syms[i]
+			if q.exclEpoch[s] == q.epoch {
+				continue
+			}
+			c := int(f.counts[i])
+			total += c
+			distinct++
+			if int(s) == sym {
+				symCount = c
+			}
+		}
+		if distinct == 0 {
+			continue // every symbol here already excluded: free backoff
+		}
+		remaining := f.alphabet - q.nexcl
+		denom := float64(total + distinct)
+		if distinct >= remaining {
+			denom = float64(total)
+		}
+		if symCount >= 0 {
+			return lp + math.Log(float64(symCount)/denom)
+		}
+		if distinct >= remaining {
+			return lp + math.Log(1e-12)
+		}
+		lp += math.Log(float64(distinct) / denom) // escape
+		for i := nd.symOff; i < nd.symOff+nd.symN; i++ {
+			if s := f.syms[i]; q.exclEpoch[s] != q.epoch {
+				q.exclEpoch[s] = q.epoch
+				q.nexcl++
+			}
+		}
+	}
+	remaining := f.alphabet - q.nexcl
+	if remaining < 1 {
+		remaining = 1
+	}
+	return lp + math.Log(1.0/float64(remaining))
+}
+
+// Prob returns Pr(sym | hist).
+func (q *Querier) Prob(sym int, hist []int) float64 {
+	return math.Exp(q.LogProb(sym, hist))
+}
+
+// LogProbSeq returns ln Pr(seq), allocation-free.
+func (q *Querier) LogProbSeq(seq []int) float64 {
+	lp := 0.0
+	for i, sym := range seq {
+		lo := i - q.f.depth
+		if lo < 0 {
+			lo = 0
+		}
+		lp += q.LogProb(sym, seq[lo:i])
+	}
+	return lp
+}
+
+// LogProbWords evaluates a whole word set in one pass, reusing this
+// querier's scratch across words. out is reused when it has capacity for
+// len(words) results; with a caller-provided out the call performs zero
+// allocations.
+func (q *Querier) LogProbWords(words [][]int, out []float64) []float64 {
+	if cap(out) < len(words) {
+		out = make([]float64, len(words))
+	}
+	out = out[:len(words)]
+	for i, w := range words {
+		out[i] = q.LogProbSeq(w)
+	}
+	return out
+}
+
+// Dump renders the frozen trie exactly as Model.Dump renders its builder:
+// freezing then dumping yields the identical string.
+func (f *Frozen) Dump(name func(int) string) string {
+	var d dumper
+	var walk func(n int32, depth int)
+	walk = func(n int32, depth int) {
+		nd := &f.nodes[n]
+		d.syms = d.syms[:0]
+		d.counts = d.counts[:0]
+		for i := nd.symOff; i < nd.symOff+nd.symN; i++ {
+			d.syms = append(d.syms, int(f.syms[i]))
+			d.counts = append(d.counts, int(f.counts[i]))
+		}
+		d.line(depth, int(nd.total), name)
+		for i := nd.childOff; i < nd.childOff+nd.childN; i++ {
+			d.path = append(d.path, int(f.childSyms[i]))
+			walk(f.childNodes[i], depth+1)
+			d.path = d.path[:len(d.path)-1]
+		}
+	}
+	walk(0, 0)
+	return d.b.String()
+}

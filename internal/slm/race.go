@@ -1,0 +1,9 @@
+//go:build race
+
+package slm
+
+// raceEnabled reports whether the race detector instruments this build.
+// The frozen-path alloc assertions (testing.AllocsPerRun == 0) are skipped
+// under -race because instrumentation may allocate; the property tests
+// themselves still run.
+const raceEnabled = true

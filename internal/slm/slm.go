@@ -22,7 +22,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"strings"
 )
 
 // Model is a trained PPM-C variable-order Markov model over an integer
@@ -181,48 +180,48 @@ func (m *Model) LogProbSeq(seq []int) float64 {
 // ProbSeq returns Pr(seq).
 func (m *Model) ProbSeq(seq []int) float64 { return math.Exp(m.LogProbSeq(seq)) }
 
+// LogProbWords scores every word with LogProbSeq. See WordScorer; the
+// frozen counterpart (Frozen.LogProbWords) is the fast path.
+func (m *Model) LogProbWords(words [][]int, out []float64) []float64 {
+	if cap(out) < len(words) {
+		out = make([]float64, len(words))
+	}
+	out = out[:len(words)]
+	for i, w := range words {
+		out[i] = m.LogProbSeq(w)
+	}
+	return out
+}
+
 // Dump renders the trained context tree with the probability each context
 // assigns to each next symbol and to escape — the Fig. 8 view of a model.
-// name maps symbols to display strings.
+// name maps symbols to display strings. Frozen.Dump prints the identical
+// string for the frozen form of the model.
 func (m *Model) Dump(name func(int) string) string {
-	var b strings.Builder
-	var walk func(n *node, ctx []int, depth int)
-	walk = func(n *node, ctx []int, depth int) {
-		indent := strings.Repeat("  ", depth)
-		label := "<root>"
-		if len(ctx) > 0 {
-			parts := make([]string, len(ctx))
-			for i, s := range ctx {
-				parts[i] = name(s)
-			}
-			label = strings.Join(parts, " ")
-		}
-		d := len(n.counts)
-		denom := float64(n.total + d)
-		syms := make([]int, 0, d)
+	var d dumper
+	var walk func(n *node, depth int)
+	walk = func(n *node, depth int) {
+		d.syms = d.syms[:0]
 		for s := range n.counts {
-			syms = append(syms, s)
+			d.syms = append(d.syms, s)
 		}
-		sort.Ints(syms)
-		fmt.Fprintf(&b, "%scontext [%s]:", indent, label)
-		for _, s := range syms {
-			fmt.Fprintf(&b, " %s=%.3f", name(s), float64(n.counts[s])/denom)
+		sort.Ints(d.syms)
+		d.counts = d.counts[:0]
+		for _, s := range d.syms {
+			d.counts = append(d.counts, n.counts[s])
 		}
-		if d > 0 {
-			fmt.Fprintf(&b, " escape=%.3f", float64(d)/denom)
-		}
-		b.WriteString("\n")
+		d.line(depth, n.total, name)
 		kids := make([]int, 0, len(n.children))
 		for s := range n.children {
 			kids = append(kids, s)
 		}
 		sort.Ints(kids)
 		for _, s := range kids {
-			// ctx is stored most-recent-first in the tree; display as
-			// oldest-first by prepending.
-			walk(n.children[s], append([]int{s}, ctx...), depth+1)
+			d.path = append(d.path, s)
+			walk(n.children[s], depth+1)
+			d.path = d.path[:len(d.path)-1]
 		}
 	}
-	walk(m.root, nil, 0)
-	return b.String()
+	walk(m.root, 0)
+	return d.b.String()
 }

@@ -8,7 +8,10 @@
 // language model per type from statically extracted object tracelets, and
 // reconstructs the most likely class hierarchy per family by solving a
 // minimum-weight spanning arborescence over Kullback–Leibler distances
-// between the models.
+// between the models. After training, each model is frozen into a flat,
+// allocation-free trie (internal/slm.Frozen) and the entire distance sweep
+// queries the frozen forms; the frozen kernel is bit-identical to the
+// training representation, so this is purely a performance property.
 //
 // The analysis never consumes names or ground truth: if the input image
 // carries metadata (a ground-truth side channel produced by the bundled
