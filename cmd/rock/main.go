@@ -4,11 +4,18 @@
 // Usage:
 //
 //	rock [-metric kl|js-divergence|js-distance] [-depth D] [-window W]
-//	     [-workers N] [-structural-only] [-v] image.rbin
+//	     [-workers N] [-cache DIR] [-invalidate LEVEL]
+//	     [-structural-only] [-v] image.rbin
 //
 // The input is an image produced by this repository's compiler (see
 // cmd/rockbench -emit or the examples). If the image carries ground-truth
 // metadata, it is stripped before analysis and used only to print names.
+//
+// With -cache DIR, analysis artifacts are persisted as content-addressed
+// snapshots under DIR: re-analyzing an unchanged binary under an unchanged
+// configuration skips the whole pipeline, and configuration changes
+// invalidate only the stages they affect. -invalidate caps the reuse
+// (none, hierarchy, models, all) to force recomputation.
 package main
 
 import (
@@ -25,6 +32,8 @@ func main() {
 	depth := flag.Int("depth", 2, "SLM maximum order D")
 	window := flag.Int("window", 7, "object tracelet window length")
 	workers := flag.Int("workers", 0, "analysis worker pool size (0 = all CPUs, 1 = serial)")
+	cacheDir := flag.String("cache", "", "snapshot cache directory (created if missing); repeat analyses of the same binary reuse cached stages")
+	invalidate := flag.String("invalidate", "none", "snapshot reuse cap: none, hierarchy, models, or all")
 	structuralOnly := flag.Bool("structural-only", false, "skip the behavioral analysis (type families and possible parents only)")
 	verbose := flag.Bool("v", false, "print families and candidate parents")
 	flag.Parse()
@@ -37,11 +46,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 	rep, err := rock.Analyze(data, rock.Options{
 		Metric:         *metric,
 		SLMDepth:       *depth,
 		Window:         *window,
 		Workers:        *workers,
+		CacheDir:       *cacheDir,
+		Invalidate:     *invalidate,
 		StructuralOnly: *structuralOnly,
 	})
 	if err != nil {

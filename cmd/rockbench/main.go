@@ -14,6 +14,10 @@
 //	rockbench -slm          SLM micro-bench: map-based builder vs frozen
 //	                        flat-trie query kernel (-json FILE writes the
 //	                        result, e.g. BENCH_slm.json)
+//	rockbench -snapshot     cold vs warm end-to-end analysis over the whole
+//	                        Table 2 suite through the content-addressed
+//	                        snapshot cache (-json FILE writes the result,
+//	                        e.g. BENCH_snapshot.json)
 //	rockbench -emit DIR     write every benchmark image to DIR (for cmd/rock)
 //	rockbench -all          everything above except -emit
 //
@@ -43,6 +47,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/image"
 	"repro/internal/slm"
+	"repro/internal/snapshot"
 	"repro/internal/synth"
 )
 
@@ -66,17 +71,24 @@ func main() {
 	scale := flag.Bool("scale", false, "run the scalability sweep")
 	pipeline := flag.Bool("pipeline", false, "measure serial vs parallel pipeline wall-clock")
 	slmBench := flag.Bool("slm", false, "measure the builder vs frozen SLM query kernel")
-	jsonOut := flag.String("json", "", "write the -pipeline or -slm result to this JSON file")
+	snapBench := flag.Bool("snapshot", false, "measure cold vs warm analysis through the snapshot cache")
+	jsonOut := flag.String("json", "", "write the -pipeline, -slm, or -snapshot result to this JSON file")
 	emit := flag.String("emit", "", "write benchmark images to this directory")
 	all := flag.Bool("all", false, "run every experiment")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file")
 	flag.Parse()
 	if *all {
-		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench = true, true, true, true, true, true, true, true
+		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench, *snapBench = true, true, true, true, true, true, true, true, true
 	}
-	if *jsonOut != "" && *pipeline && *slmBench {
-		fatal(fmt.Errorf("-json names a single output file; run -pipeline and -slm separately"))
+	jsonModes := 0
+	for _, on := range []bool{*pipeline, *slmBench, *snapBench} {
+		if on {
+			jsonModes++
+		}
+	}
+	if *jsonOut != "" && jsonModes > 1 && !*all {
+		fatal(fmt.Errorf("-json names a single output file; run -pipeline, -slm, and -snapshot separately"))
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -138,6 +150,14 @@ func main() {
 			jp = "" // -all: the single -json path belongs to -pipeline
 		}
 		runSLMBench(jp)
+	}
+	if *snapBench {
+		ran = true
+		jp := *jsonOut
+		if *pipeline || *slmBench {
+			jp = "" // -all: the single -json path belongs to an earlier mode
+		}
+		runSnapshotBench(jp)
 	}
 	if *emit != "" {
 		ran = true
@@ -502,6 +522,148 @@ func runSLMBench(jsonPath string) {
 		out.FrozenSeqNS, out.FrozenSeqAllocs, out.FrozenSeqBytes, out.SeqSpeedup)
 	fmt.Printf("  wordDist    builder: %8.0f ns/op\n", out.BuilderWordDistNS)
 	fmt.Printf("  wordDist    frozen:  %8.0f ns/op  (%.2fx)\n", out.FrozenWordDistNS, out.WordDistSpeedup)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  wrote %s\n", jsonPath)
+	}
+}
+
+// snapshotResult is the JSON record emitted by -snapshot (the CI artifact
+// BENCH_snapshot.json): end-to-end analysis wall-clock over the whole
+// Table 2 suite, cold (empty cache, so every run computes everything and
+// writes its snapshot) against warm (every run restores the hierarchy
+// stage from its snapshot).
+type snapshotResult struct {
+	Benchmarks int     `json:"benchmarks"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	WarmRuns   int     `json:"warm_runs"`
+	ColdNS     int64   `json:"cold_ns"`
+	WarmNS     int64   `json:"warm_ns"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"identical"`
+	CacheBytes int64   `json:"cache_bytes"`
+}
+
+// snapshotResultsEqual compares the analysis outcome of a cold and a warm
+// run field by field. Funcs and Models are deliberately excluded: a warm
+// run never lifts functions or retains builder-form models (both are
+// documented as nil when their stage is restored from a snapshot).
+func snapshotResultsEqual(cold, warm *core.Result) bool {
+	return reflect.DeepEqual(cold.VTables, warm.VTables) &&
+		reflect.DeepEqual(cold.Structural, warm.Structural) &&
+		reflect.DeepEqual(cold.Tracelets, warm.Tracelets) &&
+		reflect.DeepEqual(cold.Alphabet, warm.Alphabet) &&
+		reflect.DeepEqual(cold.Frozen, warm.Frozen) &&
+		reflect.DeepEqual(cold.Dist, warm.Dist) &&
+		reflect.DeepEqual(cold.Families, warm.Families) &&
+		reflect.DeepEqual(cold.Hierarchy, warm.Hierarchy) &&
+		reflect.DeepEqual(cold.MultiParents, warm.MultiParents)
+}
+
+// runSnapshotBench measures the content-addressed snapshot cache on the
+// full Table 2 suite: a cold pass over an empty cache directory (computing
+// and persisting every snapshot) against warm passes that restore the
+// hierarchy stage, with every warm result verified deep-equal to its cold
+// counterpart. Image compilation is excluded from both timings.
+func runSnapshotBench(jsonPath string) {
+	fmt.Println("== snapshot cache: cold vs warm analysis (Table 2 suite) ==")
+	benches := bench.All()
+	imgs := make([]*image.Image, len(benches))
+	for i, b := range benches {
+		img, _, err := b.Build()
+		if err != nil {
+			fatal(err)
+		}
+		imgs[i] = img
+	}
+	cacheDir, err := os.MkdirTemp("", "rockbench-snap-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+	cfg := benchConfig()
+	cfg.CacheDir = cacheDir
+
+	coldRes := make([]*core.Result, len(imgs))
+	coldStart := time.Now()
+	for i, img := range imgs {
+		r, err := core.Analyze(img, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		coldRes[i] = r
+	}
+	coldD := time.Since(coldStart)
+	for i, r := range coldRes {
+		if r.SnapshotReuse != snapshot.LevelNone {
+			fatal(fmt.Errorf("%s: cold run reused a snapshot (level %d)", benches[i].Name, r.SnapshotReuse))
+		}
+	}
+
+	const warmRuns = 3
+	warmRes := make([]*core.Result, len(imgs))
+	warmD := time.Duration(0)
+	for run := 0; run < warmRuns; run++ {
+		start := time.Now()
+		for i, img := range imgs {
+			r, err := core.Analyze(img, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			warmRes[i] = r
+		}
+		if d := time.Since(start); warmD == 0 || d < warmD {
+			warmD = d
+		}
+	}
+	identical := true
+	for i := range imgs {
+		if warmRes[i].SnapshotReuse != snapshot.LevelHierarchy {
+			fatal(fmt.Errorf("%s: warm run reused only level %d", benches[i].Name, warmRes[i].SnapshotReuse))
+		}
+		if !snapshotResultsEqual(coldRes[i], warmRes[i]) {
+			identical = false
+			fmt.Printf("  MISMATCH: %s warm result differs from cold\n", benches[i].Name)
+		}
+	}
+
+	var cacheBytes int64
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			cacheBytes += info.Size()
+		}
+	}
+
+	out := snapshotResult{
+		Benchmarks: len(benches),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    *workers,
+		WarmRuns:   warmRuns,
+		ColdNS:     coldD.Nanoseconds(),
+		WarmNS:     warmD.Nanoseconds(),
+		Speedup:    float64(coldD) / float64(warmD),
+		Identical:  identical,
+		CacheBytes: cacheBytes,
+	}
+	fmt.Printf("  suite: %d benchmarks, %d snapshot files, %d bytes cached\n",
+		out.Benchmarks, len(entries), out.CacheBytes)
+	fmt.Printf("  cold (compute + persist): %12s\n", coldD.Round(time.Microsecond))
+	fmt.Printf("  warm (restore hierarchy): %12s  (best of %d)\n", warmD.Round(time.Microsecond), warmRuns)
+	fmt.Printf("  speedup %.2fx, results identical: %v\n", out.Speedup, identical)
+	if !identical {
+		fatal(fmt.Errorf("warm snapshot results diverged from cold results"))
+	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {

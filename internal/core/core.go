@@ -9,11 +9,11 @@
 package core
 
 import (
+	"crypto/sha256"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/arborescence"
 	"repro/internal/disasm"
@@ -21,7 +21,9 @@ import (
 	"repro/internal/image"
 	"repro/internal/ir"
 	"repro/internal/objtrace"
+	"repro/internal/pool"
 	"repro/internal/slm"
+	"repro/internal/snapshot"
 	"repro/internal/structural"
 	"repro/internal/vtable"
 )
@@ -51,13 +53,75 @@ type Config struct {
 	// EnumEps is the weight tolerance within which two arborescences count
 	// as equally minimal.
 	EnumEps float64
-	// Workers bounds the pipeline's concurrency: SLM training, per-family
-	// pairwise distance matrices, and per-family arborescence solving all
-	// run on a worker pool of this size. 0 (the default) selects
-	// runtime.GOMAXPROCS(0); 1 runs the pipeline fully serially. The result
-	// is identical for every value — all parallel stages write to
-	// index-owned slots and are merged in a fixed order.
+	// Workers bounds the pipeline's concurrency: per-function tracelet
+	// extraction, SLM training, per-family pairwise distance matrices, and
+	// per-family arborescence solving all run on a worker pool of this
+	// size. 0 (the default) selects runtime.GOMAXPROCS(0); 1 runs the
+	// pipeline fully serially. The result is identical for every value —
+	// all parallel stages write to index-owned slots and are merged in a
+	// fixed order.
 	Workers int
+	// CacheDir, when non-empty, enables the content-addressed snapshot
+	// cache (internal/snapshot): after a cold analysis the derived
+	// artifacts are persisted under this directory keyed by the image's
+	// content digest and per-stage config fingerprints, and later runs
+	// reuse every section whose fingerprint still matches. The directory
+	// must exist. Caching applies only to full (UseSLM) analyses.
+	CacheDir string
+	// Invalidate caps how much of a matching snapshot may be reused,
+	// forcing recomputation of the later stages (and a rewrite of the
+	// snapshot). The zero value reuses everything valid.
+	Invalidate Invalidate
+}
+
+// Invalidate selects the snapshot-reuse granularity of a cached run.
+type Invalidate int
+
+// Invalidation levels, coarsest reuse first.
+const (
+	// InvalidateNone reuses every snapshot section whose fingerprint
+	// matches (the default).
+	InvalidateNone Invalidate = iota
+	// InvalidateHierarchy reuses extraction and frozen models but
+	// recomputes distances, arborescences, and parent choices.
+	InvalidateHierarchy
+	// InvalidateModels reuses only the extraction (tracelets + structural
+	// results) and retrains the SLMs.
+	InvalidateModels
+	// InvalidateAll ignores any existing snapshot entirely (a forced cold
+	// run that rewrites the cache).
+	InvalidateAll
+)
+
+// maxLevel translates the invalidation granularity into the highest
+// snapshot reuse level it permits.
+func (iv Invalidate) maxLevel() int {
+	switch iv {
+	case InvalidateHierarchy:
+		return snapshot.LevelModels
+	case InvalidateModels:
+		return snapshot.LevelExtraction
+	case InvalidateAll:
+		return snapshot.LevelNone
+	default:
+		return snapshot.LevelHierarchy
+	}
+}
+
+// ParseInvalidate maps the CLI spelling of an invalidation level to its
+// value: "none", "hierarchy", "models", or "all" ("" means none).
+func ParseInvalidate(s string) (Invalidate, error) {
+	switch s {
+	case "", "none":
+		return InvalidateNone, nil
+	case "hierarchy":
+		return InvalidateHierarchy, nil
+	case "models":
+		return InvalidateModels, nil
+	case "all":
+		return InvalidateAll, nil
+	}
+	return 0, fmt.Errorf("core: unknown invalidation level %q (want none, hierarchy, models, or all)", s)
 }
 
 // DefaultConfig returns the paper-calibrated configuration.
@@ -87,12 +151,17 @@ type FamilyResult struct {
 
 // Result is the pipeline output.
 type Result struct {
-	Image      *image.Image
+	Image *image.Image
+	// Funcs holds the disassembled functions. It is nil on a warm run that
+	// restored the extraction from a snapshot (disassembly was skipped).
 	Funcs      []*ir.Function
 	VTables    []*vtable.VTable
 	Structural *structural.Result
 	Tracelets  *objtrace.Result
-	// Models maps each type to its trained SLM (UseSLM only).
+	// Models maps each type to its trained SLM (UseSLM only). It is nil on
+	// a warm run that restored the frozen models from a snapshot: the
+	// mutable builders are never persisted, and Frozen answers every query
+	// identically.
 	Models map[uint64]*slm.Model
 	// Frozen maps each type to the frozen flat-trie form of its SLM
 	// (UseSLM only). Every model is frozen immediately after training and
@@ -114,6 +183,15 @@ type Result struct {
 	MultiParents map[uint64][]uint64
 	// Alphabet is the interned event alphabet (symbol -> event).
 	Alphabet []objtrace.Event
+	// SnapshotReuse reports how much of a cached snapshot this run reused:
+	// snapshot.LevelNone (cold), LevelExtraction, LevelModels, or
+	// LevelHierarchy (fully warm). Always LevelNone without a CacheDir.
+	SnapshotReuse int
+
+	// words memoizes each type's distinct encoded tracelets (the word sets
+	// the distance sweep measures over), built once per analysis instead of
+	// once per family a type belongs to.
+	words map[uint64][][]int
 }
 
 // TypeNamer returns a display-name function backed by metadata when
@@ -132,7 +210,11 @@ func TypeNamer(meta *image.Metadata) func(uint64) string {
 	}
 }
 
-// Analyze runs the full pipeline on a stripped image.
+// Analyze runs the full pipeline on a stripped image. With a CacheDir it
+// first consults the content-addressed snapshot cache and reruns only the
+// stages whose configuration fingerprints no longer match (see
+// internal/snapshot); a fully warm run restores every derived artifact
+// and recomputes nothing.
 func Analyze(img *image.Image, cfg Config) (*Result, error) {
 	if img.Meta != nil {
 		// The analysis must never see ground truth; insist on a stripped
@@ -154,37 +236,150 @@ func Analyze(img *image.Image, cfg Config) (*Result, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	cfg.Trace.Workers = cfg.Workers
 
-	fns, err := disasm.All(img)
-	if err != nil {
-		return nil, fmt.Errorf("core: disassembly failed: %w", err)
+	// Snapshot lookup: usable level = sections whose fingerprints match,
+	// capped by the requested invalidation granularity. Any read or decode
+	// failure is a cache miss.
+	var snap *snapshot.Snapshot
+	level := snapshot.LevelNone
+	cachePath := ""
+	var key snapshot.Key
+	if cfg.CacheDir != "" && cfg.UseSLM {
+		key = cfg.snapshotKey(img)
+		cachePath = filepath.Join(cfg.CacheDir, key.FileName())
+		if s, err := snapshot.Load(cachePath); err == nil {
+			snap = s
+			level = min(key.Usable(s), cfg.Invalidate.maxLevel())
+		}
 	}
-	vts := vtable.Discover(img, fns)
-	tr := objtrace.Extract(img, fns, vts, cfg.Trace)
-	st := structural.Analyze(img, fns, vts, tr, cfg.Structural)
 
-	res := &Result{
-		Image:      img,
-		Funcs:      fns,
-		VTables:    vts,
-		Structural: st,
-		Tracelets:  tr,
+	res := &Result{Image: img, SnapshotReuse: level}
+	if level >= snapshot.LevelExtraction {
+		res.VTables = snap.VTables
+		res.Tracelets = snap.Tracelets
+		res.Structural = snap.Structural
+		res.Alphabet = snap.Alphabet
+	} else {
+		fns, err := disasm.All(img)
+		if err != nil {
+			return nil, fmt.Errorf("core: disassembly failed: %w", err)
+		}
+		res.Funcs = fns
+		res.VTables = vtable.Discover(img, fns)
+		res.Tracelets = objtrace.Extract(img, fns, res.VTables, cfg.Trace)
+		res.Structural = structural.Analyze(img, fns, res.VTables, res.Tracelets, cfg.Structural)
 	}
 	if !cfg.UseSLM {
 		return res, nil
 	}
-
-	res.internAlphabet()
-	res.trainModels(cfg)
-	if err := res.buildHierarchy(cfg); err != nil {
-		return nil, err
+	if level < snapshot.LevelExtraction {
+		res.internAlphabet()
 	}
-	res.chooseMultiParents()
+	if level >= snapshot.LevelModels {
+		res.Frozen = snap.Frozen
+	} else {
+		res.trainModels(cfg)
+	}
+	if level >= snapshot.LevelHierarchy {
+		res.restoreHierarchy(snap)
+	} else {
+		if err := res.buildHierarchy(cfg); err != nil {
+			return nil, err
+		}
+		res.chooseMultiParents()
+	}
+	if cachePath != "" && level < snapshot.LevelHierarchy {
+		if err := res.writeSnapshot(cachePath, key); err != nil {
+			return nil, err
+		}
+	}
 	return res, nil
 }
 
+// fingerprint hashes one stage's canonical config rendering.
+func fingerprint(stage, canon string) [32]byte {
+	return sha256.Sum256([]byte(stage + "|" + canon))
+}
+
+// snapshotKey derives the cache key: the image content digest plus one
+// fingerprint per pipeline stage, each hashing exactly the configuration
+// that stage's output depends on. Workers appears in no fingerprint — the
+// pipeline's results are identical for every worker count.
+func (c Config) snapshotKey(img *image.Image) snapshot.Key {
+	tr := c.Trace.WithDefaults()
+	return snapshot.Key{
+		Digest: img.ContentDigest(),
+		ExtractFP: fingerprint("extract", fmt.Sprintf(
+			"paths=%d steps=%d unroll=%d window=%d tracelen=%d structural=%v,%v,%v,%v,%v",
+			tr.MaxPaths, tr.MaxSteps, tr.MaxUnroll, tr.Window, tr.MaxTraceLen,
+			c.Structural.DisableSharedSlots, c.Structural.DisableInstanceInstalls,
+			c.Structural.DisableCtorCalls, c.Structural.DisableSizeRule,
+			c.Structural.DisablePurecallRule)),
+		ModelFP: fingerprint("model", fmt.Sprintf("depth=%d", c.SLMDepth)),
+		HierFP: fingerprint("hier", fmt.Sprintf(
+			"metric=%d rootw=%.17g enumlimit=%d enumeps=%.17g",
+			c.Metric, c.RootWeightFactor, c.EnumLimit, c.EnumEps)),
+	}
+}
+
+// restoreHierarchy rebuilds the hierarchy-stage outputs from a snapshot.
+func (r *Result) restoreHierarchy(snap *snapshot.Snapshot) {
+	r.Dist = snap.Dist
+	r.Families = make([]FamilyResult, len(snap.Families))
+	for i, fr := range snap.Families {
+		r.Families[i] = FamilyResult{Types: fr.Types, Weight: fr.Weight, Arbs: fr.Arbs}
+	}
+	var all []uint64
+	for _, v := range r.VTables {
+		all = append(all, v.Addr)
+	}
+	r.Hierarchy = hierarchy.NewForest(all)
+	children := make([]uint64, 0, len(snap.Parents))
+	for c := range snap.Parents {
+		children = append(children, c)
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+	for _, c := range children {
+		// The edges come from a validated arborescence; re-adding them to a
+		// fresh forest cannot fail, and a corrupted-beyond-validation edge
+		// set would only drop edges, never crash.
+		_ = r.Hierarchy.SetParent(c, snap.Parents[c])
+	}
+	r.MultiParents = snap.MultiParents
+}
+
+// writeSnapshot persists the run's derived artifacts under the key.
+func (r *Result) writeSnapshot(path string, key snapshot.Key) error {
+	snap := &snapshot.Snapshot{
+		Key:          key,
+		Alphabet:     r.Alphabet,
+		VTables:      r.VTables,
+		Tracelets:    r.Tracelets,
+		Structural:   r.Structural,
+		Frozen:       r.Frozen,
+		Dist:         r.Dist,
+		Families:     make([]snapshot.Family, len(r.Families)),
+		Parents:      map[uint64]uint64{},
+		MultiParents: r.MultiParents,
+	}
+	for i, fr := range r.Families {
+		snap.Families[i] = snapshot.Family{Types: fr.Types, Weight: fr.Weight, Arbs: fr.Arbs}
+	}
+	for _, t := range r.Hierarchy.Nodes() {
+		if p, ok := r.Hierarchy.Parent(t); ok {
+			snap.Parents[t] = p
+		}
+	}
+	if err := snap.WriteFile(path); err != nil {
+		return fmt.Errorf("core: writing snapshot: %w", err)
+	}
+	return nil
+}
+
 // internAlphabet assigns integer symbols to every distinct event observed
-// anywhere in the binary, so that all SLMs share one alphabet.
+// anywhere in the binary, so that all SLMs share one alphabet, and then
+// memoizes each type's encoded word set (buildWords).
 func (r *Result) internAlphabet() {
 	seen := map[objtrace.Event]bool{}
 	var events []objtrace.Event
@@ -204,6 +399,33 @@ func (r *Result) internAlphabet() {
 		}
 	}
 	r.Alphabet = events
+	r.buildWords()
+}
+
+// buildWords memoizes the distinct encoded tracelets of every type — each
+// type's words are encoded exactly once per analysis and reused by every
+// family word-set union, instead of being re-encoded for each family (and
+// on warm snapshot runs, rebuilt only when the hierarchy stage actually
+// runs). Idempotent.
+func (r *Result) buildWords() {
+	if r.words != nil {
+		return
+	}
+	idx := r.symIndex()
+	r.words = make(map[uint64][][]int, len(r.VTables))
+	for _, v := range r.VTables {
+		seen := map[string]bool{}
+		var out [][]int
+		for _, tl := range r.Tracelets.PerType[v.Addr] {
+			k := tl.String()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, encode(idx, tl))
+		}
+		r.words[v.Addr] = out
+	}
 }
 
 // symIndex builds the event -> symbol map.
@@ -232,42 +454,6 @@ func encode(idx map[objtrace.Event]int, tl objtrace.Tracelet) []int {
 	return out
 }
 
-// forEachIndex invokes fn(i) for every i in [0,n), spread over at most
-// workers goroutines pulling indices from a shared atomic counter. With
-// workers <= 1 (or a single item) it degenerates to a plain loop on the
-// calling goroutine — the serial pipeline path. fn must only write to
-// state owned by index i; ordering across indices is not guaranteed.
-func forEachIndex(workers, n int, fn func(i int)) {
-	if n <= 0 {
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // trainModels trains one SLM per discovered type on TT(t) and freezes it
 // into its flat-trie query form. Types are independent (each model sees
 // only its own tracelets), so training and freezing fan out over the
@@ -281,7 +467,7 @@ func (r *Result) trainModels(cfg Config) {
 	}
 	models := make([]*slm.Model, len(r.VTables))
 	frozen := make([]*slm.Frozen, len(r.VTables))
-	forEachIndex(cfg.Workers, len(r.VTables), func(i int) {
+	pool.ForEachIndex(cfg.Workers, len(r.VTables), func(i int) {
 		m := slm.New(cfg.SLMDepth, alpha)
 		for _, tl := range r.Tracelets.PerType[r.VTables[i].Addr] {
 			m.Train(encode(idx, tl))
@@ -297,31 +483,17 @@ func (r *Result) trainModels(cfg Config) {
 	}
 }
 
-// typeWords returns the distinct encoded tracelets of a type.
-func (r *Result) typeWords(idx map[objtrace.Event]int, t uint64) [][]int {
-	seen := map[string]bool{}
-	var out [][]int
-	for _, tl := range r.Tracelets.PerType[t] {
-		k := tl.String()
-		if seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, encode(idx, tl))
-	}
-	return out
-}
-
 // familyWords returns the union of distinct tracelets across all family
-// members. Every pairwise distance within the family is measured over this
-// one word set: the algorithm only needs a ranking over candidate parents
-// (Remark 4.1), and ranking distances measured over differing word sets
-// would not be comparable.
-func (r *Result) familyWords(idx map[objtrace.Event]int, fam []uint64) [][]int {
+// members, drawn from the per-type memo (buildWords) so no tracelet is
+// encoded more than once per analysis. Every pairwise distance within the
+// family is measured over this one word set: the algorithm only needs a
+// ranking over candidate parents (Remark 4.1), and ranking distances
+// measured over differing word sets would not be comparable.
+func (r *Result) familyWords(fam []uint64) [][]int {
 	seen := map[string]bool{}
 	var words [][]int
 	for _, t := range fam {
-		for _, w := range r.typeWords(idx, t) {
+		for _, w := range r.words[t] {
 			k := fmt.Sprint(w)
 			if !seen[k] {
 				seen[k] = true
@@ -345,7 +517,7 @@ type familyOutcome struct {
 // concurrently into index-owned slots; the outcomes are merged in family
 // order, making the merged Result identical to a serial run.
 func (r *Result) buildHierarchy(cfg Config) error {
-	idx := r.symIndex()
+	r.buildWords()
 	r.Dist = map[[2]uint64]float64{}
 
 	var all []uint64
@@ -355,8 +527,8 @@ func (r *Result) buildHierarchy(cfg Config) error {
 	r.Hierarchy = hierarchy.NewForest(all)
 
 	outs := make([]*familyOutcome, len(r.Structural.Families))
-	forEachIndex(cfg.Workers, len(r.Structural.Families), func(i int) {
-		outs[i] = r.analyzeFamily(cfg, idx, r.Structural.Families[i])
+	pool.ForEachIndex(cfg.Workers, len(r.Structural.Families), func(i int) {
+		outs[i] = r.analyzeFamily(cfg, r.Structural.Families[i])
 	})
 
 	for i, out := range outs {
@@ -383,7 +555,7 @@ func (r *Result) buildHierarchy(cfg Config) error {
 // ordered pairs reduce the cached distributions, each pair writing its own
 // slot. All model evaluation goes through the frozen flat tries — the
 // allocation-free kernel — which are bit-identical to the builders.
-func (r *Result) analyzeFamily(cfg Config, idx map[objtrace.Event]int, fam []uint64) *familyOutcome {
+func (r *Result) analyzeFamily(cfg Config, fam []uint64) *familyOutcome {
 	out := &familyOutcome{fr: FamilyResult{Types: append([]uint64(nil), fam...)}}
 	if len(fam) == 1 {
 		out.fr.Arbs = []map[uint64]uint64{{}}
@@ -392,14 +564,14 @@ func (r *Result) analyzeFamily(cfg Config, idx map[objtrace.Event]int, fam []uin
 	// Pairwise distances for every family-internal ordered pair (kept for
 	// reporting) and the candidate edge list, all over the family's shared
 	// word set.
-	words := r.familyWords(idx, fam)
+	words := r.familyWords(fam)
 	calc := slm.NewDistanceCalculator(cfg.Metric, words)
 	n := len(fam)
-	forEachIndex(cfg.Workers, n, func(i int) {
+	pool.ForEachIndex(cfg.Workers, n, func(i int) {
 		calc.Precompute(r.Frozen[fam[i]])
 	})
 	dists := make([]float64, n*n)
-	forEachIndex(cfg.Workers, n*n, func(k int) {
+	pool.ForEachIndex(cfg.Workers, n*n, func(k int) {
 		p, c := fam[k/n], fam[k%n]
 		if p == c {
 			return

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with the current measurements")
@@ -66,5 +68,30 @@ func TestTable2Golden(t *testing.T) {
 		if gotLines[i] != wantLines[i] {
 			t.Errorf("accuracy drift:\n  got:  %s\n  want: %s", gotLines[i], wantLines[i])
 		}
+	}
+}
+
+// TestTable2GoldenWarmCache reruns the full Table 2 evaluation through the
+// snapshot cache: a first pass populates a fresh cache directory, a second
+// fully-warm pass restores every stage from disk — and must reproduce the
+// golden file byte for byte. This is the accuracy half of the snapshot
+// acceptance criterion (the speed half lives in rockbench -snapshot).
+func TestTable2GoldenWarmCache(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.CacheDir = t.TempDir()
+	if _, err := RunAllWithConfig(cfg); err != nil {
+		t.Fatalf("cold pass: %v", err)
+	}
+	rows, err := RunAllWithConfig(cfg)
+	if err != nil {
+		t.Fatalf("warm pass: %v", err)
+	}
+	got := goldenRows(rows)
+	want, err := os.ReadFile(filepath.Join("testdata", "table2.golden"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("warm-cache evaluation drifted from the golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }

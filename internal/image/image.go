@@ -15,6 +15,7 @@ package image
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -124,6 +125,47 @@ func (img *Image) Strip() *Image {
 	for k, v := range img.Imports {
 		out.Imports[k] = v
 	}
+	return out
+}
+
+// ContentDigest returns a SHA-256 digest of the image's analysis-relevant
+// content: code, rodata, entries, and imports. The display name and any
+// ground-truth metadata are excluded — two images that differ only in
+// those produce identical analyses, so they share a digest. The digest is
+// the image half of the snapshot cache key (internal/snapshot).
+func (img *Image) ContentDigest() [32]byte {
+	h := sha256.New()
+	var b [8]byte
+	writeLen := func(n int) {
+		binary.LittleEndian.PutUint64(b[:], uint64(n))
+		h.Write(b[:])
+	}
+	writeU64h := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	writeLen(len(img.Code))
+	h.Write(img.Code)
+	writeLen(len(img.Rodata))
+	h.Write(img.Rodata)
+	writeLen(len(img.Entries))
+	for _, e := range img.Entries {
+		writeU64h(e)
+	}
+	keys := make([]uint64, 0, len(img.Imports))
+	for k := range img.Imports {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	writeLen(len(keys))
+	for _, k := range keys {
+		writeU64h(k)
+		name := img.Imports[k]
+		writeLen(len(name))
+		h.Write([]byte(name))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
 	return out
 }
 

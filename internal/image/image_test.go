@@ -116,3 +116,46 @@ func TestValidateCatchesBadEntries(t *testing.T) {
 		t.Error("ragged code section accepted")
 	}
 }
+
+// TestContentDigest pins the snapshot cache's image half: the digest is
+// stable across calls and copies, ignores the display name and the
+// ground-truth metadata (analysis-identical images share a cache slot),
+// and moves whenever any analysis-relevant content moves.
+func TestContentDigest(t *testing.T) {
+	img := sampleImage()
+	base := img.ContentDigest()
+	if base != img.ContentDigest() {
+		t.Fatal("digest not stable across calls")
+	}
+	if got := img.Strip().ContentDigest(); got != base {
+		t.Error("stripping metadata changed the digest")
+	}
+	renamed := sampleImage()
+	renamed.Name = "elsewhere"
+	renamed.Meta = nil
+	if got := renamed.ContentDigest(); got != base {
+		t.Error("name/metadata changes changed the digest")
+	}
+
+	mutate := func(name string, f func(*Image)) {
+		m := sampleImage().Strip()
+		f(m)
+		if m.ContentDigest() == base {
+			t.Errorf("%s change kept the digest", name)
+		}
+	}
+	mutate("code", func(m *Image) { m.Code[10] ^= 1 })
+	mutate("rodata", func(m *Image) { m.Rodata[0] ^= 1 })
+	mutate("entries", func(m *Image) { m.Entries[1]++ })
+	mutate("import name", func(m *Image) { m.Imports[ImportBase] = "other" })
+	mutate("import addr", func(m *Image) {
+		m.Imports[ImportBase+32] = m.Imports[ImportBase]
+		delete(m.Imports, ImportBase)
+	})
+	// Length-prefixed hashing: moving a byte across the code/rodata
+	// boundary must not collide.
+	mutate("section boundary", func(m *Image) {
+		m.Code = m.Code[:len(m.Code)-1]
+		m.Rodata = append([]byte{0}, m.Rodata...)
+	})
+}

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/image"
 	"repro/internal/ir"
+	"repro/internal/pool"
 	"repro/internal/vtable"
 )
 
@@ -121,12 +122,25 @@ type Config struct {
 	Window int
 	// MaxTraceLen caps the raw per-object event sequence length.
 	MaxTraceLen int
+	// Workers bounds how many per-function symbolic executions run
+	// concurrently. 0 or 1 runs the extraction serially. Functions are
+	// mutually independent (each executor sees only its own function), the
+	// per-function results land in index-owned slots, and the merge walks
+	// them in function order, so the Result is byte-identical for every
+	// worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper-calibrated bounds.
 func DefaultConfig() Config {
 	return Config{MaxPaths: 64, MaxSteps: 512, MaxUnroll: 2, Window: 7, MaxTraceLen: 128}
 }
+
+// WithDefaults returns the config with unset (zero) bounds replaced by the
+// paper defaults, exactly as Extract resolves them. Snapshot fingerprints
+// hash the resolved values, so an explicit default and an unset field
+// produce the same cache key. Workers is not a bound and stays as-is.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 func (c Config) withDefaults() Config {
 	d := DefaultConfig()
@@ -176,13 +190,22 @@ func Extract(img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Con
 			res.FnVTables[f] = append(res.FnVTables[f], v.Addr)
 		}
 	}
-	structSeen := map[string]bool{}
-	for _, fn := range fns {
+	// Per-function symbolic executions are independent: fan them out over
+	// the worker pool into index-owned slots, then merge serially in
+	// function order so the (order-sensitive) deduplication below sees the
+	// segments exactly as a serial run would.
+	exs := make([]*executor, len(fns))
+	pool.ForEachIndex(cfg.Workers, len(fns), func(i int) {
 		ex := &executor{
-			img: img, fn: fn, cfg: cfg, vtSet: vtSet,
-			thisTypes: res.FnVTables[fn.Entry],
+			img: img, fn: fns[i], cfg: cfg, vtSet: vtSet,
+			thisTypes: res.FnVTables[fns[i].Entry],
 		}
 		ex.run()
+		exs[i] = ex
+	})
+	structSeen := map[string]bool{}
+	for i, fn := range fns {
+		ex := exs[i]
 		// Deduplicate raw sequences per (object segment type, content).
 		seqSeen := map[string]bool{}
 		for _, seg := range ex.segments {

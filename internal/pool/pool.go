@@ -1,0 +1,48 @@
+// Package pool provides the bounded index-fanout primitive shared by the
+// pipeline's parallel stages (SLM training, per-family distance matrices,
+// arborescence solving, and the objtrace front-end). Every stage follows
+// the same discipline: workers write only to state owned by their index,
+// and the caller merges the slots in a fixed order afterwards, so results
+// are identical for any worker count.
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachIndex invokes fn(i) for every i in [0,n), spread over at most
+// workers goroutines pulling indices from a shared atomic counter. With
+// workers <= 1 (or a single item) it degenerates to a plain loop on the
+// calling goroutine — the serial path. fn must only write to state owned
+// by index i; ordering across indices is not guaranteed.
+func ForEachIndex(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,25 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachIndex checks the worker-pool primitive: every index is
+// visited exactly once for serial and parallel pool sizes, including the
+// degenerate shapes (empty range, more workers than items).
+func TestForEachIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 13} {
+		for _, n := range []int{0, 1, 2, 7, 100} {
+			hits := make([]int32, n)
+			ForEachIndex(workers, n, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}

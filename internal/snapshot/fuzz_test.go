@@ -1,0 +1,46 @@
+package snapshot
+
+import (
+	"testing"
+)
+
+// FuzzDecodeSnapshot is the satellite fuzz target: Decode must never
+// panic, hang, or allocate beyond what the input size warrants, no matter
+// how corrupted the bytes are — a bad snapshot is a cache miss, not a
+// crash. Anything Decode accepts must also re-encode cleanly (the decoded
+// structure is internally consistent).
+func FuzzDecodeSnapshot(f *testing.F) {
+	valid, err := sampleSnapshot().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	// Truncations at section-ish boundaries and corruptions of the
+	// length-prefix bytes seed the mutator near the interesting guards.
+	for _, n := range []int{0, 3, 4, 8, 136, len(valid) / 2, len(valid) - 1} {
+		if n <= len(valid) {
+			f.Add(append([]byte(nil), valid[:n]...))
+		}
+	}
+	for _, off := range []int{4, 136, 140, 200, len(valid) - 8} {
+		if off >= 0 && off < len(valid) {
+			mut := append([]byte(nil), valid...)
+			mut[off] ^= 0xff
+			f.Add(mut)
+		}
+	}
+	// A huge count right where the alphabet length lives.
+	huge := append([]byte(nil), valid[:136]...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0x7f)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if _, err := s.Encode(); err != nil {
+			t.Fatalf("decoded snapshot fails to re-encode: %v", err)
+		}
+	})
+}

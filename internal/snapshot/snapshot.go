@@ -1,0 +1,619 @@
+// Package snapshot implements the persistent, content-addressed analysis
+// cache: everything the pipeline derives from a binary image — the
+// interned event alphabet, discovered vtables, extracted tracelets and
+// structural observations, the per-type frozen SLM tries, and the
+// hierarchy-stage outputs (pairwise distances, per-family arborescences,
+// chosen parents) — serialized into one versioned binary file keyed by the
+// image's content digest plus per-stage configuration fingerprints.
+//
+// The key has four parts, validated in order on load:
+//
+//	image digest   SHA-256 of the image's analysis-relevant content
+//	               (image.ContentDigest)
+//	extract FP     fingerprint of the front-end config (tracelet bounds +
+//	               structural heuristics) guarding the extraction section
+//	model FP       fingerprint of the SLM config (depth) guarding the
+//	               frozen-models section
+//	hier FP        fingerprint of the back-end config (metric, root weight,
+//	               enumeration bounds) guarding the hierarchy section
+//
+// The sections form a strict dependency chain (models are trained on the
+// extraction, the hierarchy is solved over the models), so a snapshot is
+// usable up to the first fingerprint that disagrees: changing only the
+// distance metric reuses extraction and models and recomputes the
+// hierarchy; changing the tracelet window invalidates everything. Worker
+// counts appear in no fingerprint — the pipeline's results are identical
+// for every worker count.
+//
+// Every variable-length count is validated against the bytes actually
+// remaining before anything is allocated, so a corrupted or truncated
+// snapshot fails fast with an error — never a panic or an attempted
+// multi-gigabyte allocation (fuzz-tested by FuzzDecodeSnapshot). The file
+// ends with a SHA-256 checksum of everything before it, so even a bit
+// flip inside an opaque payload (a distance value, a model count) is
+// detected and treated as a cache miss instead of silently poisoning a
+// warm analysis.
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/objtrace"
+	"repro/internal/slm"
+	"repro/internal/structural"
+	"repro/internal/vtable"
+)
+
+const (
+	magic = "RSNP"
+	// Version is the snapshot format version; bumped on any layout change.
+	// A version mismatch is a cache miss, never a decode attempt.
+	Version = 1
+)
+
+// Section reuse levels, in dependency order.
+const (
+	// LevelNone: nothing reusable (cold run).
+	LevelNone = 0
+	// LevelExtraction: alphabet, vtables, tracelets, structural results.
+	LevelExtraction = 1
+	// LevelModels: LevelExtraction plus the frozen SLM tries.
+	LevelModels = 2
+	// LevelHierarchy: everything — distances, arborescences, parents.
+	LevelHierarchy = 3
+)
+
+// Key identifies the analysis a snapshot caches.
+type Key struct {
+	// Digest is the image content digest (image.ContentDigest).
+	Digest [32]byte
+	// ExtractFP fingerprints the front-end configuration.
+	ExtractFP [32]byte
+	// ModelFP fingerprints the SLM configuration.
+	ModelFP [32]byte
+	// HierFP fingerprints the hierarchy-stage configuration.
+	HierFP [32]byte
+}
+
+// FileName returns the snapshot's file name within a cache directory. It
+// is derived from the image digest alone, so one image owns one cache slot
+// regardless of configuration: re-analyzing under a changed config
+// overwrites the slot (after salvaging whatever sections still match).
+func (k Key) FileName() string {
+	return hex.EncodeToString(k.Digest[:16]) + ".rsnap"
+}
+
+// Usable returns the highest reuse level the snapshot supports for this
+// key: sections are valid only up to the first fingerprint mismatch, and
+// nothing is valid across an image-digest mismatch.
+func (k Key) Usable(s *Snapshot) int {
+	switch {
+	case s == nil || s.Key.Digest != k.Digest:
+		return LevelNone
+	case s.Key.ExtractFP != k.ExtractFP:
+		return LevelNone
+	case s.Key.ModelFP != k.ModelFP:
+		return LevelExtraction
+	case s.Key.HierFP != k.HierFP:
+		return LevelModels
+	default:
+		return LevelHierarchy
+	}
+}
+
+// Family is one cached per-family outcome (mirrors core.FamilyResult).
+type Family struct {
+	// Types lists the family members, ascending.
+	Types []uint64
+	// Weight is the minimum arborescence weight.
+	Weight float64
+	// Arbs holds the surviving arborescences as child→parent maps.
+	Arbs []map[uint64]uint64
+}
+
+// Snapshot is the decoded cache content.
+type Snapshot struct {
+	Key Key
+
+	// Extraction section (LevelExtraction).
+	Alphabet   []objtrace.Event
+	VTables    []*vtable.VTable
+	Tracelets  *objtrace.Result
+	Structural *structural.Result
+
+	// Models section (LevelModels).
+	Frozen map[uint64]*slm.Frozen
+
+	// Hierarchy section (LevelHierarchy).
+	Dist map[[2]uint64]float64
+	// Families holds the per-family outcomes in family order.
+	Families []Family
+	// Parents is the reconstructed forest as a child→parent map.
+	Parents map[uint64]uint64
+	// MultiParents maps multiple-inheritance types to their parent sets.
+	MultiParents map[uint64][]uint64
+}
+
+// Load reads and decodes a snapshot file. A missing, unreadable, or
+// corrupted file returns an error; callers treat any error as a cache
+// miss.
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// WriteFile atomically writes the encoded snapshot: the bytes land in a
+// temporary file in the target directory first and are renamed into
+// place, so a concurrent reader never observes a half-written snapshot.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := s.Encode()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".rsnap-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return nil
+}
+
+// Encoding ---------------------------------------------------------------
+
+// Encode serializes the snapshot deterministically: map keys are emitted
+// in sorted order, so the same snapshot content always produces the same
+// bytes.
+func (s *Snapshot) Encode() ([]byte, error) {
+	w := &writer{}
+	w.raw(magic)
+	w.u32(Version)
+	w.raw(string(s.Key.Digest[:]))
+	w.raw(string(s.Key.ExtractFP[:]))
+	w.raw(string(s.Key.ModelFP[:]))
+	w.raw(string(s.Key.HierFP[:]))
+
+	// Extraction section. Tracelet events are stored as indices into the
+	// interned alphabet (every event appearing in a tracelet is interned
+	// by construction).
+	idx := make(map[objtrace.Event]int, len(s.Alphabet))
+	for i, e := range s.Alphabet {
+		idx[e] = i
+	}
+	w.u32(uint32(len(s.Alphabet)))
+	for _, e := range s.Alphabet {
+		w.u8(uint8(e.Kind))
+		w.u64(e.N)
+	}
+	w.u32(uint32(len(s.VTables)))
+	for _, v := range s.VTables {
+		w.u64(v.Addr)
+		w.u32(uint32(len(v.Slots)))
+		for _, f := range v.Slots {
+			w.u64(f)
+		}
+	}
+	writeSeqs := func(seqs map[uint64][][]objtrace.Event) error {
+		keys := sortedKeys(seqs)
+		w.u32(uint32(len(keys)))
+		for _, t := range keys {
+			w.u64(t)
+			w.u32(uint32(len(seqs[t])))
+			for _, seq := range seqs[t] {
+				w.u32(uint32(len(seq)))
+				for _, e := range seq {
+					sym, ok := idx[e]
+					if !ok {
+						return fmt.Errorf("snapshot: tracelet event %v not in the interned alphabet", e)
+					}
+					w.u32(uint32(sym))
+				}
+			}
+		}
+		return nil
+	}
+	perType := make(map[uint64][][]objtrace.Event, len(s.Tracelets.PerType))
+	for t, tls := range s.Tracelets.PerType {
+		seqs := make([][]objtrace.Event, len(tls))
+		for i, tl := range tls {
+			seqs[i] = tl
+		}
+		perType[t] = seqs
+	}
+	if err := writeSeqs(perType); err != nil {
+		return nil, err
+	}
+	if err := writeSeqs(s.Tracelets.RawPerType); err != nil {
+		return nil, err
+	}
+	w.u32(uint32(len(s.Tracelets.Structs)))
+	for _, os := range s.Tracelets.Structs {
+		w.u64(os.Fn)
+		w.bool(os.EntryThis)
+		w.u32(uint32(len(os.Events)))
+		for _, e := range os.Events {
+			w.bool(e.Install)
+			w.u32(uint32(e.Off))
+			w.u64(e.VT)
+			w.u64(e.Callee)
+		}
+	}
+	w.addrsMap(s.Tracelets.FnVTables)
+	w.u32(uint32(len(s.Structural.Families)))
+	for _, fam := range s.Structural.Families {
+		w.addrs(fam)
+	}
+	w.addrsMap(s.Structural.PossibleParents)
+	w.pairsMap(s.Structural.DefinitiveParent)
+	w.u64(s.Structural.Purecall)
+	w.addrsMap(s.Structural.SecondaryInstalls)
+	w.addrsMap(s.Structural.InstallerOf)
+
+	// Models section.
+	w.u32(uint32(len(s.Frozen)))
+	for _, t := range sortedKeys(s.Frozen) {
+		w.u64(t)
+		w.buf = s.Frozen[t].AppendBinary(w.buf)
+	}
+
+	// Hierarchy section.
+	dk := make([][2]uint64, 0, len(s.Dist))
+	for pc := range s.Dist {
+		dk = append(dk, pc)
+	}
+	sort.Slice(dk, func(i, j int) bool {
+		if dk[i][0] != dk[j][0] {
+			return dk[i][0] < dk[j][0]
+		}
+		return dk[i][1] < dk[j][1]
+	})
+	w.u32(uint32(len(dk)))
+	for _, pc := range dk {
+		w.u64(pc[0])
+		w.u64(pc[1])
+		w.u64(math.Float64bits(s.Dist[pc]))
+	}
+	w.u32(uint32(len(s.Families)))
+	for _, fr := range s.Families {
+		w.addrs(fr.Types)
+		w.u64(math.Float64bits(fr.Weight))
+		w.u32(uint32(len(fr.Arbs)))
+		for _, arb := range fr.Arbs {
+			w.pairsMap(arb)
+		}
+	}
+	w.pairsMap(s.Parents)
+	w.addrsMap(s.MultiParents)
+	sum := sha256.Sum256(w.buf)
+	return append(w.buf, sum[:]...), nil
+}
+
+// Decode parses an encoded snapshot.
+func Decode(data []byte) (*Snapshot, error) {
+	if len(data) < sha256.Size {
+		return nil, fmt.Errorf("snapshot: truncated before checksum (%d bytes)", len(data))
+	}
+	payload := data[:len(data)-sha256.Size]
+	if sum := sha256.Sum256(payload); string(sum[:]) != string(data[len(payload):]) {
+		return nil, fmt.Errorf("snapshot: checksum mismatch")
+	}
+	r := &reader{data: payload}
+	if string(r.bytes(4)) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic")
+	}
+	if v := r.u32(); r.err == nil && v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d", v)
+	}
+	s := &Snapshot{}
+	copy(s.Key.Digest[:], r.bytes(32))
+	copy(s.Key.ExtractFP[:], r.bytes(32))
+	copy(s.Key.ModelFP[:], r.bytes(32))
+	copy(s.Key.HierFP[:], r.bytes(32))
+
+	// Extraction section.
+	n := r.count(9) // kind u8 + n u64
+	for i := 0; i < n && r.err == nil; i++ {
+		kind := r.u8()
+		ev := objtrace.Event{Kind: objtrace.EventKind(kind), N: r.u64()}
+		if r.err == nil && kind > uint8(objtrace.EvCallF) {
+			return nil, fmt.Errorf("snapshot: unknown event kind %d", kind)
+		}
+		s.Alphabet = append(s.Alphabet, ev)
+	}
+	n = r.count(12) // addr u64 + slot count u32
+	for i := 0; i < n && r.err == nil; i++ {
+		v := &vtable.VTable{Addr: r.u64()}
+		v.Slots = r.addrs()
+		s.VTables = append(s.VTables, v)
+	}
+	readSeqs := func() map[uint64][][]objtrace.Event {
+		out := map[uint64][][]objtrace.Event{}
+		nt := r.count(12)
+		for i := 0; i < nt && r.err == nil; i++ {
+			t := r.u64()
+			ns := r.count(4)
+			var seqs [][]objtrace.Event
+			for j := 0; j < ns && r.err == nil; j++ {
+				ne := r.count(4)
+				seq := make([]objtrace.Event, 0, min(ne, r.remaining()/4+1))
+				for k := 0; k < ne && r.err == nil; k++ {
+					sym := int(r.u32())
+					if r.err == nil && sym >= len(s.Alphabet) {
+						r.fail(fmt.Errorf("snapshot: tracelet symbol %d outside alphabet %d", sym, len(s.Alphabet)))
+						break
+					}
+					seq = append(seq, s.Alphabet[sym])
+				}
+				seqs = append(seqs, seq)
+			}
+			out[t] = seqs
+		}
+		return out
+	}
+	s.Tracelets = &objtrace.Result{}
+	perType := readSeqs()
+	s.Tracelets.PerType = make(map[uint64][]objtrace.Tracelet, len(perType))
+	for t, seqs := range perType {
+		tls := make([]objtrace.Tracelet, len(seqs))
+		for i, seq := range seqs {
+			tls[i] = objtrace.Tracelet(seq)
+		}
+		s.Tracelets.PerType[t] = tls
+	}
+	s.Tracelets.RawPerType = readSeqs()
+	n = r.count(13) // fn u64 + entryThis u8 + event count u32
+	for i := 0; i < n && r.err == nil; i++ {
+		os := objtrace.ObjStruct{Fn: r.u64(), EntryThis: r.bool()}
+		ne := r.count(21) // install u8 + off u32 + vt u64 + callee u64
+		for j := 0; j < ne && r.err == nil; j++ {
+			os.Events = append(os.Events, objtrace.StructEvent{
+				Install: r.bool(),
+				Off:     int32(r.u32()),
+				VT:      r.u64(),
+				Callee:  r.u64(),
+			})
+		}
+		s.Tracelets.Structs = append(s.Tracelets.Structs, os)
+	}
+	s.Tracelets.FnVTables = r.addrsMap()
+	s.Structural = &structural.Result{FamilyOf: map[uint64]int{}}
+	n = r.count(4)
+	for i := 0; i < n && r.err == nil; i++ {
+		fam := r.addrs()
+		s.Structural.Families = append(s.Structural.Families, fam)
+		for _, t := range fam {
+			s.Structural.FamilyOf[t] = i
+		}
+	}
+	// Candidate-free types keep nil slices, matching how the structural
+	// analysis materializes them (addrs decodes empty as nil).
+	s.Structural.PossibleParents = r.addrsMap()
+	s.Structural.DefinitiveParent = r.pairsMap()
+	s.Structural.Purecall = r.u64()
+	s.Structural.SecondaryInstalls = r.addrsMap()
+	s.Structural.InstallerOf = r.addrsMap()
+
+	// Models section.
+	n = r.count(8)
+	s.Frozen = make(map[uint64]*slm.Frozen, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		t := r.u64()
+		if r.err != nil {
+			break
+		}
+		f, rest, err := slm.DecodeFrozen(r.data[r.pos:])
+		if err != nil {
+			return nil, err
+		}
+		r.pos = len(r.data) - len(rest)
+		s.Frozen[t] = f
+	}
+
+	// Hierarchy section.
+	n = r.count(24) // p u64 + c u64 + bits u64
+	s.Dist = make(map[[2]uint64]float64, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		p, c := r.u64(), r.u64()
+		s.Dist[[2]uint64{p, c}] = math.Float64frombits(r.u64())
+	}
+	n = r.count(16) // types count u32 + weight u64 + arbs count u32
+	for i := 0; i < n && r.err == nil; i++ {
+		fr := Family{Types: r.addrs(), Weight: math.Float64frombits(r.u64())}
+		na := r.count(4)
+		for j := 0; j < na && r.err == nil; j++ {
+			fr.Arbs = append(fr.Arbs, r.pairsMap())
+		}
+		s.Families = append(s.Families, fr)
+	}
+	s.Parents = r.pairsMap()
+	s.MultiParents = r.addrsMap()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.data) {
+		return nil, fmt.Errorf("snapshot: %d trailing bytes", len(r.data)-r.pos)
+	}
+	return s, nil
+}
+
+func sortedKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// writer ----------------------------------------------------------------
+
+type writer struct {
+	buf []byte
+}
+
+func (w *writer) raw(s string) { w.buf = append(w.buf, s...) }
+func (w *writer) u8(v uint8)   { w.buf = append(w.buf, v) }
+
+func (w *writer) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *writer) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *writer) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+func (w *writer) addrs(s []uint64) {
+	w.u32(uint32(len(s)))
+	for _, v := range s {
+		w.u64(v)
+	}
+}
+
+// addrsMap writes a map of address slices with sorted keys.
+func (w *writer) addrsMap(m map[uint64][]uint64) {
+	keys := sortedKeys(m)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.u64(k)
+		w.addrs(m[k])
+	}
+}
+
+// pairsMap writes a map of single addresses with sorted keys.
+func (w *writer) pairsMap(m map[uint64]uint64) {
+	keys := sortedKeys(m)
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		w.u64(k)
+		w.u64(m[k])
+	}
+}
+
+// reader ----------------------------------------------------------------
+
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.pos }
+
+func (r *reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return make([]byte, n)
+	}
+	if r.pos+n > len(r.data) {
+		r.fail(fmt.Errorf("snapshot: truncated input at offset %d", r.pos))
+		return make([]byte, n)
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) u8() uint8   { return r.bytes(1)[0] }
+func (r *reader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+func (r *reader) u64() uint64 { return binary.LittleEndian.Uint64(r.bytes(8)) }
+
+func (r *reader) bool() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(fmt.Errorf("snapshot: bad bool at offset %d", r.pos-1))
+		return false
+	}
+}
+
+// count reads an element count and validates it against the bytes
+// remaining, given the minimum encoded size of one element — the guard
+// that keeps a corrupted count from driving a huge allocation loop.
+func (r *reader) count(minElem int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n > r.remaining()/minElem {
+		r.fail(fmt.Errorf("snapshot: count %d exceeds input size at offset %d", n, r.pos))
+		return 0
+	}
+	return n
+}
+
+// addrs reads a length-prefixed address slice (nil when empty).
+func (r *reader) addrs() []uint64 {
+	n := r.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.u64())
+	}
+	return out
+}
+
+// addrsMap reads a map of address slices (non-nil, possibly empty).
+func (r *reader) addrsMap() map[uint64][]uint64 {
+	n := r.count(12)
+	out := make(map[uint64][]uint64, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.u64()
+		out[k] = r.addrs()
+	}
+	return out
+}
+
+// pairsMap reads a map of single addresses (non-nil, possibly empty).
+func (r *reader) pairsMap() map[uint64]uint64 {
+	n := r.count(16)
+	out := make(map[uint64]uint64, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.u64()
+		out[k] = r.u64()
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package snapshot
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/objtrace"
+	"repro/internal/slm"
+	"repro/internal/structural"
+	"repro/internal/vtable"
+)
+
+// sampleSnapshot builds a fully populated snapshot by hand, exercising
+// every section including the empty-vs-nil conventions the decoder
+// guarantees (nil address slices for empty candidate sets, non-nil maps).
+func sampleSnapshot() *Snapshot {
+	ev := func(k objtrace.EventKind, n uint64) objtrace.Event { return objtrace.Event{Kind: k, N: n} }
+	alphabet := []objtrace.Event{
+		ev(objtrace.EvCall, 0), ev(objtrace.EvCall, 1), ev(objtrace.EvThis, 0),
+		ev(objtrace.EvRet, 0), ev(objtrace.EvCallF, 0x4010),
+	}
+	m := slm.New(2, len(alphabet))
+	m.Train([]int{0, 2, 1})
+	m.Train([]int{0, 1, 3})
+	frozen := m.Freeze()
+
+	s := &Snapshot{
+		Alphabet: alphabet,
+		VTables: []*vtable.VTable{
+			{Addr: 0x2000, Slots: []uint64{0x4000, 0x4010}},
+			{Addr: 0x2010, Slots: []uint64{0x4020}},
+		},
+		Tracelets: &objtrace.Result{
+			PerType: map[uint64][]objtrace.Tracelet{
+				0x2000: {
+					objtrace.Tracelet{alphabet[0], alphabet[2]},
+					objtrace.Tracelet{alphabet[1]},
+				},
+				0x2010: {objtrace.Tracelet{alphabet[4]}},
+			},
+			RawPerType: map[uint64][][]objtrace.Event{
+				0x2000: {{alphabet[0], alphabet[2], alphabet[1]}},
+			},
+			Structs: []objtrace.ObjStruct{
+				{Fn: 0x4000, EntryThis: true, Events: []objtrace.StructEvent{
+					{Install: true, Off: 0, VT: 0x2000},
+					{Install: false, Off: 8, Callee: 0x4020},
+				}},
+				{Fn: 0x4020, Events: []objtrace.StructEvent{
+					{Install: true, Off: 16, VT: 0x2010},
+				}},
+			},
+			FnVTables: map[uint64][]uint64{0x4000: {0x2000}, 0x4020: {0x2000, 0x2010}},
+		},
+		Structural: &structural.Result{
+			Families: [][]uint64{{0x2000, 0x2010}},
+			FamilyOf: map[uint64]int{0x2000: 0, 0x2010: 0},
+			PossibleParents: map[uint64][]uint64{
+				0x2000: nil, // candidate-free types keep nil slices
+				0x2010: {0x2000},
+			},
+			DefinitiveParent:  map[uint64]uint64{0x2010: 0x2000},
+			Purecall:          0x4fff,
+			SecondaryInstalls: map[uint64][]uint64{0x2000: {0x2010}},
+			InstallerOf:       map[uint64][]uint64{0x4000: {0x2000}},
+		},
+		Frozen: map[uint64]*slm.Frozen{0x2000: frozen, 0x2010: frozen},
+		Dist: map[[2]uint64]float64{
+			{0x2000, 0x2010}: 0.25,
+			{0x2010, 0x2000}: 1.75,
+		},
+		Families: []Family{
+			{Types: []uint64{0x2000, 0x2010}, Weight: 0.25, Arbs: []map[uint64]uint64{
+				{0x2010: 0x2000},
+			}},
+		},
+		Parents:      map[uint64]uint64{0x2010: 0x2000},
+		MultiParents: map[uint64][]uint64{0x2010: {0x2000, 0x2010}},
+	}
+	for i := range s.Key.Digest {
+		s.Key.Digest[i] = byte(i)
+		s.Key.ExtractFP[i] = byte(i + 1)
+		s.Key.ModelFP[i] = byte(i + 2)
+		s.Key.HierFP[i] = byte(i + 3)
+	}
+	return s
+}
+
+// TestSnapshotRoundTrip checks Encode→Decode full fidelity (DeepEqual over
+// every section) and that encoding is canonical: re-encoding the decoded
+// snapshot reproduces the original bytes exactly.
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip not deep-equal:\n want %+v\n got  %+v", s, got)
+	}
+	again, err := got.Encode()
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !reflect.DeepEqual(data, again) {
+		t.Fatal("re-encoding the decoded snapshot changed the bytes")
+	}
+}
+
+// TestSnapshotWriteFileLoad checks the atomic write path: the file lands
+// under its key-derived name, loads back deep-equal, and leaves no
+// temporary droppings in the cache directory.
+func TestSnapshotWriteFileLoad(t *testing.T) {
+	s := sampleSnapshot()
+	dir := t.TempDir()
+	path := filepath.Join(dir, s.Key.FileName())
+	if err := s.WriteFile(path); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatal("loaded snapshot not deep-equal to the written one")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != s.Key.FileName() {
+		t.Fatalf("cache dir holds %v, want only %s", entries, s.Key.FileName())
+	}
+}
+
+// TestKeyUsable walks the staged-validity chain: reuse extends exactly up
+// to the first fingerprint mismatch, and an image-digest mismatch (or a
+// missing snapshot) invalidates everything.
+func TestKeyUsable(t *testing.T) {
+	s := sampleSnapshot()
+	k := s.Key
+	if got := k.Usable(s); got != LevelHierarchy {
+		t.Errorf("matching key: level %d, want %d", got, LevelHierarchy)
+	}
+	if got := k.Usable(nil); got != LevelNone {
+		t.Errorf("nil snapshot: level %d, want %d", got, LevelNone)
+	}
+	flip := func(f [32]byte) [32]byte { f[0] ^= 1; return f }
+	cases := []struct {
+		name string
+		k    Key
+		want int
+	}{
+		{"digest", Key{Digest: flip(k.Digest), ExtractFP: k.ExtractFP, ModelFP: k.ModelFP, HierFP: k.HierFP}, LevelNone},
+		{"extract", Key{Digest: k.Digest, ExtractFP: flip(k.ExtractFP), ModelFP: k.ModelFP, HierFP: k.HierFP}, LevelNone},
+		{"model", Key{Digest: k.Digest, ExtractFP: k.ExtractFP, ModelFP: flip(k.ModelFP), HierFP: k.HierFP}, LevelExtraction},
+		{"hier", Key{Digest: k.Digest, ExtractFP: k.ExtractFP, ModelFP: k.ModelFP, HierFP: flip(k.HierFP)}, LevelModels},
+	}
+	for _, c := range cases {
+		if got := c.k.Usable(s); got != c.want {
+			t.Errorf("%s mismatch: level %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// TestDecodeRejectsCorruption covers the decode guards the fuzzer also
+// probes: truncations, bad magic, wrong version, and trailing garbage all
+// error without panicking.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data, err := sampleSnapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes accepted", n, len(data))
+		}
+	}
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), data...)
+	bad[4] = Version + 1
+	if _, err := Decode(bad); err == nil {
+		t.Error("future version accepted")
+	}
+	if _, err := Decode(append(append([]byte(nil), data...), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

@@ -5,6 +5,9 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/disasm"
+	"repro/internal/objtrace"
+	"repro/internal/vtable"
 )
 
 // TestReportDeterminismAcrossWorkers is the core guard for the parallel
@@ -32,6 +35,47 @@ func TestReportDeterminismAcrossWorkers(t *testing.T) {
 			if !reflect.DeepEqual(serial, parallel) {
 				diffReports(t, serial, parallel)
 			}
+		})
+	}
+}
+
+// TestExtractDeterminismAcrossWorkers pins the newly parallel front end in
+// isolation: objtrace.Extract with Workers: 1 and Workers: 8 must produce
+// deep-equal Results — tracelet multisets, raw sequences, structural
+// observations in function order, and function→vtable attributions — on
+// every Table 2 benchmark. Per-function execution writes to index-owned
+// slots and the merge (including cross-function dedup) runs serially in
+// function order, so the output is byte-identical for any worker count.
+func TestExtractDeterminismAcrossWorkers(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			img, _, err := b.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			fns, err := disasm.All(img)
+			if err != nil {
+				t.Fatalf("disasm: %v", err)
+			}
+			vts := vtable.Discover(img, fns)
+			cfg := objtrace.DefaultConfig()
+			cfg.Workers = 1
+			serial := objtrace.Extract(img, fns, vts, cfg)
+			cfg.Workers = 8
+			parallel := objtrace.Extract(img, fns, vts, cfg)
+			if reflect.DeepEqual(serial, parallel) {
+				return
+			}
+			check := func(name string, a, b any) {
+				if !reflect.DeepEqual(a, b) {
+					t.Errorf("%s diverged between Workers:1 and Workers:8", name)
+				}
+			}
+			check("PerType", serial.PerType, parallel.PerType)
+			check("RawPerType", serial.RawPerType, parallel.RawPerType)
+			check("Structs", serial.Structs, parallel.Structs)
+			check("FnVTables", serial.FnVTables, parallel.FnVTables)
 		})
 	}
 }

@@ -45,11 +45,23 @@ type Options struct {
 	// paper's "without SLMs" baseline: only type families and the
 	// possible-parents relation are reported.
 	StructuralOnly bool
-	// Workers bounds the analysis concurrency (SLM training, pairwise
-	// distance matrices, per-family arborescences). 0 uses all CPUs
-	// (runtime.GOMAXPROCS); 1 runs fully serially. The Report is identical
-	// for every value.
+	// Workers bounds the analysis concurrency (tracelet extraction, SLM
+	// training, pairwise distance matrices, per-family arborescences).
+	// 0 uses all CPUs (runtime.GOMAXPROCS); 1 runs fully serially. The
+	// Report is identical for every value.
 	Workers int
+	// CacheDir, when non-empty, enables the content-addressed snapshot
+	// cache: analysis artifacts are persisted under this directory keyed
+	// by the image's content digest and config fingerprints, and repeat
+	// analyses of the same binary reuse every stage whose configuration
+	// is unchanged. The directory must exist. The Report of a warm run is
+	// identical to a cold one.
+	CacheDir string
+	// Invalidate caps snapshot reuse for a cached run: "" or "none" reuses
+	// everything valid, "hierarchy" recomputes distances and
+	// arborescences, "models" also retrains the SLMs, and "all" forces a
+	// fully cold run (rewriting the cache).
+	Invalidate string
 }
 
 // Type describes one discovered binary type.
@@ -130,6 +142,12 @@ func AnalyzeImage(img *image.Image, opts Options) (*Report, error) {
 	}
 	cfg.UseSLM = !opts.StructuralOnly
 	cfg.Workers = opts.Workers
+	cfg.CacheDir = opts.CacheDir
+	inv, err := core.ParseInvalidate(opts.Invalidate)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Invalidate = inv
 
 	res, err := core.Analyze(stripped, cfg)
 	if err != nil {
