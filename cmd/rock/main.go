@@ -6,10 +6,17 @@
 //	rock [-metric kl|js-divergence|js-distance] [-depth D] [-window W]
 //	     [-workers N] [-cache DIR] [-invalidate LEVEL]
 //	     [-structural-only] [-v] image.rbin
+//	rock -corpus DIR [flags]
 //
 // The input is an image produced by this repository's compiler (see
 // cmd/rockbench -emit or the examples). If the image carries ground-truth
 // metadata, it is stripped before analysis and used only to print names.
+//
+// With -corpus DIR, every *.rbin under DIR is analyzed as one batch over a
+// single shared worker pool (-workers bounds the whole batch, not each
+// image): results stream as they complete and a summary line per image is
+// printed in name order at the end. Combined with -cache, images whose
+// snapshots are fully warm bypass the analysis queue entirely.
 //
 // With -cache DIR, analysis artifacts are persisted as content-addressed
 // snapshots under DIR: re-analyzing an unchanged binary under an unchanged
@@ -19,11 +26,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"time"
 
+	"repro/internal/image"
 	"repro/rock"
 )
 
@@ -35,8 +46,31 @@ func main() {
 	cacheDir := flag.String("cache", "", "snapshot cache directory (created if missing); repeat analyses of the same binary reuse cached stages")
 	invalidate := flag.String("invalidate", "none", "snapshot reuse cap: none, hierarchy, models, or all")
 	structuralOnly := flag.Bool("structural-only", false, "skip the behavioral analysis (type families and possible parents only)")
+	corpusDir := flag.String("corpus", "", "analyze every *.rbin under this directory as one batch on a shared worker pool")
 	verbose := flag.Bool("v", false, "print families and candidate parents")
 	flag.Parse()
+	opts := rock.Options{
+		Metric:         *metric,
+		SLMDepth:       *depth,
+		Window:         *window,
+		Workers:        *workers,
+		CacheDir:       *cacheDir,
+		Invalidate:     *invalidate,
+		StructuralOnly: *structuralOnly,
+	}
+	if *cacheDir != "" {
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	if *corpusDir != "" {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: rock -corpus DIR [flags]")
+			os.Exit(2)
+		}
+		runCorpus(*corpusDir, opts)
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rock [flags] image.rbin")
 		flag.Usage()
@@ -46,20 +80,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *cacheDir != "" {
-		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
-			fatal(err)
-		}
-	}
-	rep, err := rock.Analyze(data, rock.Options{
-		Metric:         *metric,
-		SLMDepth:       *depth,
-		Window:         *window,
-		Workers:        *workers,
-		CacheDir:       *cacheDir,
-		Invalidate:     *invalidate,
-		StructuralOnly: *structuralOnly,
-	})
+	rep, err := rock.Analyze(data, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -93,6 +114,74 @@ func main() {
 			}
 			fmt.Println()
 		}
+	}
+}
+
+// runCorpus analyzes every *.rbin under dir as one batch: the images are
+// loaded up front, scheduled over a single shared worker pool, progress
+// streams as analyses complete, and per-image summaries print in file
+// order at the end (the batch result is deterministic — identical to
+// analyzing each image alone).
+func runCorpus(dir string, opts rock.Options) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.rbin"))
+	if err != nil {
+		fatal(err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("no *.rbin images under %s", dir))
+	}
+	imgs := make([]*image.Image, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fatal(err)
+		}
+		if imgs[i], err = image.Load(data); err != nil {
+			fatal(fmt.Errorf("%s: %w", p, err))
+		}
+	}
+	start := time.Now()
+	rep, err := rock.AnalyzeCorpus(context.Background(), imgs, rock.CorpusOptions{
+		Options: opts,
+		OnResult: func(it rock.CorpusItem) {
+			state := "done"
+			if it.Warm {
+				state = "warm"
+			}
+			if it.Err != nil {
+				state = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %-40s %s\n",
+				it.Index+1, len(paths), filepath.Base(paths[it.Index]), state)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	failed := 0
+	for i, it := range rep.Items {
+		name := filepath.Base(paths[i])
+		if it.Err != nil {
+			failed++
+			fmt.Printf("%-40s error: %v\n", name, it.Err)
+			continue
+		}
+		fmt.Printf("%-40s types %3d  families %3d  edges %3d  resolvable %-5v",
+			name, len(it.Report.Types), len(it.Report.Families),
+			len(it.Report.Edges), it.Report.StructurallyResolved)
+		if it.Warm {
+			fmt.Print("  (warm)")
+		}
+		fmt.Println()
+	}
+	fmt.Printf("corpus: %d images (%d warm, %d cold) in %s, peak heap %.1f MiB\n",
+		len(paths), rep.Warm, rep.Cold, elapsed.Round(time.Millisecond),
+		float64(rep.PeakHeap)/(1<<20))
+	if failed > 0 {
+		fatal(fmt.Errorf("%d of %d images failed", failed, len(paths)))
 	}
 }
 

@@ -181,8 +181,12 @@ func solve(n, root int, edges []Edge) ([]int, error) {
 	}
 
 	// Expand: start with all cycle edges, then for every chosen contracted
-	// edge add its original and remove the cycle edge it displaces.
-	inResult := make(map[int]bool)
+	// edge add its original and remove the cycle edge it displaces. The
+	// membership set is a slice indexed by edge position — collecting the
+	// chosen indices with one ordered scan replaces the old map[int]bool
+	// plus sort.Ints (hash insertions, iteration allocation, and a sort,
+	// all per contraction level).
+	inResult := make([]bool, len(edges))
 	for v := 0; v < n; v++ {
 		if cycleNode[v] {
 			inResult[minIn[v]] = true
@@ -192,31 +196,43 @@ func solve(n, root int, edges []Edge) ([]int, error) {
 		m := back[nei]
 		inResult[m.orig] = true
 		if m.replaces >= 0 {
-			delete(inResult, m.replaces)
+			inResult[m.replaces] = false
 		}
 	}
 	out := make([]int, 0, n-1)
-	for ei := range inResult {
-		out = append(out, ei)
+	for ei, in := range inResult {
+		if in {
+			out = append(out, ei)
+		}
 	}
-	sort.Ints(out)
 	return out, nil
 }
 
 // EnumerateMin returns up to limit arborescences (as parent vectors) whose
-// total weight is within eps of the minimum, the minimum weight, and an
-// error if no arborescence exists. With limit 1 it degenerates to
-// MinArborescence. Enumeration is exact branch-and-bound and intended for
-// the small per-family graphs of the pipeline; for n > maxEnumNodes only
-// the single optimum is returned.
-func EnumerateMin(n, root int, edges []Edge, eps float64, limit int) ([][]int, float64, error) {
+// total weight is within eps of the minimum, the minimum weight, whether
+// the enumeration was truncated, and an error if no arborescence exists.
+// With limit 1 it degenerates to MinArborescence. Enumeration is exact
+// branch-and-bound and intended for the small per-family graphs of the
+// pipeline.
+//
+// truncated reports that the returned set may be missing co-optimal
+// arborescences for a reason the caller did not ask for: either the graph
+// exceeded maxEnumNodes (only the single optimum is returned) or the
+// branch-and-bound hit its internal step budget on a combinatorial
+// plateau of exact ties. Hitting the caller-chosen limit is not flagged —
+// that cap is explicit. Callers surface truncated instead of presenting a
+// capped enumeration as exhaustive.
+func EnumerateMin(n, root int, edges []Edge, eps float64, limit int) (arbs [][]int, weight float64, truncated bool, err error) {
 	best, w0, err := MinArborescence(n, root, edges)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	const maxEnumNodes = 32
-	if limit <= 1 || n > maxEnumNodes {
-		return [][]int{best}, w0, nil
+	if limit <= 1 {
+		return [][]int{best}, w0, false, nil
+	}
+	if n > maxEnumNodes {
+		return [][]int{best}, w0, true, nil
 	}
 
 	// Candidate in-edges per node, cheapest first.
@@ -260,7 +276,11 @@ func EnumerateMin(n, root int, edges []Edge, eps float64, limit int) ([][]int, f
 	var rec func(pos int, acc float64)
 	rec = func(pos int, acc float64) {
 		steps++
-		if len(out) >= limit || steps > maxSteps {
+		if steps > maxSteps {
+			truncated = true
+			return
+		}
+		if len(out) >= limit {
 			return
 		}
 		if acc+lb[pos] > w0+eps {
@@ -296,7 +316,7 @@ func EnumerateMin(n, root int, edges []Edge, eps float64, limit int) ([][]int, f
 	if len(out) == 0 {
 		out = [][]int{best}
 	}
-	return out, w0, nil
+	return out, w0, truncated, nil
 }
 
 // MajorityVote applies the paper's heuristic for reducing multiple

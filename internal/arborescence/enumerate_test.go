@@ -12,9 +12,12 @@ func TestEnumerateFindsAllCoOptimal(t *testing.T) {
 		{0, 1, 1}, {0, 2, 1},
 		{1, 3, 2}, {2, 3, 2},
 	}
-	arbs, w, err := EnumerateMin(4, 0, edges, 1e-9, 16)
+	arbs, w, truncated, err := EnumerateMin(4, 0, edges, 1e-9, 16)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("tiny exhaustive enumeration reported as truncated")
 	}
 	if w != 4 {
 		t.Fatalf("weight %v, want 4", w)
@@ -43,7 +46,7 @@ func TestEnumerateRespectsLimit(t *testing.T) {
 			}
 		}
 	}
-	arbs, _, err := EnumerateMin(6, 0, edges, 1e-9, 8)
+	arbs, _, _, err := EnumerateMin(6, 0, edges, 1e-9, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +70,7 @@ func TestEnumerateWeightsAreMinimal(t *testing.T) {
 			}
 		}
 		want, ok := BruteForceMin(n, 0, edges)
-		arbs, got, err := EnumerateMin(n, 0, edges, 1e-9, 32)
+		arbs, got, _, err := EnumerateMin(n, 0, edges, 1e-9, 32)
 		if !ok {
 			if err == nil {
 				t.Fatalf("trial %d: should be unreachable", trial)
@@ -123,4 +126,115 @@ func TestMajorityVote(t *testing.T) {
 	if out := MajorityVote(arbs[:1]); len(out) != 1 {
 		t.Errorf("single hierarchy changed: %v", out)
 	}
+}
+
+// TestEnumerateReportsTruncation: every silent cap of the enumerator must
+// surface as truncated=true — the over-size fallback to the single
+// optimum and the internal step budget on a combinatorial tie plateau —
+// while the caller-chosen limit stays unflagged.
+func TestEnumerateReportsTruncation(t *testing.T) {
+	// 40 nodes > maxEnumNodes: enumeration falls back to the optimum.
+	var big []Edge
+	for v := 1; v < 40; v++ {
+		big = append(big, Edge{0, v, 1})
+	}
+	arbs, _, truncated, err := EnumerateMin(40, 0, big, 1e-9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("over-size graph enumeration must report truncation")
+	}
+	if len(arbs) != 1 {
+		t.Errorf("over-size fallback returned %d arborescences, want 1", len(arbs))
+	}
+	// With limit 1 the caller asked for the optimum only: no flag.
+	if _, _, truncated, err := EnumerateMin(40, 0, big, 1e-9, 1); err != nil || truncated {
+		t.Errorf("limit=1 must not flag truncation (truncated=%v, err=%v)", truncated, err)
+	}
+
+	// A dense all-ties clique: the co-optimal plateau is combinatorial, so
+	// a huge limit forces the branch-and-bound into its step budget.
+	const n = 16
+	var tie []Edge
+	for v := 1; v < n; v++ {
+		tie = append(tie, Edge{0, v, 1})
+		for u := 1; u < n; u++ {
+			if u != v {
+				tie = append(tie, Edge{u, v, 0})
+			}
+		}
+	}
+	arbs, _, truncated, err = EnumerateMin(n, 0, tie, 1e-9, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Errorf("step-budget abort must report truncation (%d arbs found)", len(arbs))
+	}
+
+	// Hitting the explicit limit on the same plateau is not truncation.
+	if _, _, truncated, err = EnumerateMin(n, 0, tie, 1e-9, 4); err != nil || truncated {
+		t.Errorf("explicit limit hit must not flag truncation (truncated=%v, err=%v)", truncated, err)
+	}
+}
+
+// TestMajorityVoteOrderInsensitive: the surviving set must not depend on
+// the order the co-optimal arborescences were enumerated in — shuffling
+// the input yields the same set (as a set; MajorityVote preserves input
+// order within the survivors).
+func TestMajorityVoteOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	key := func(a []int) string {
+		s := ""
+		for _, p := range a {
+			s += string(rune(p + 2))
+		}
+		return s
+	}
+	asSet := func(arbs [][]int) map[string]bool {
+		out := map[string]bool{}
+		for _, a := range arbs {
+			out[key(a)] = true
+		}
+		return out
+	}
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(5)
+		// Random parent vectors over nodes 0..n-1 with node 0 as root;
+		// duplicates allowed (ties between identical hierarchies happen).
+		arbs := make([][]int, 2+rng.Intn(6))
+		for i := range arbs {
+			a := make([]int, n)
+			a[0] = -1
+			for v := 1; v < n; v++ {
+				a[v] = rng.Intn(v) // acyclic by construction
+			}
+			arbs[i] = a
+		}
+		want := asSet(MajorityVote(arbs))
+		for shuffle := 0; shuffle < 5; shuffle++ {
+			perm := rng.Perm(len(arbs))
+			shuffled := make([][]int, len(arbs))
+			for i, p := range perm {
+				shuffled[i] = arbs[p]
+			}
+			if got := asSet(MajorityVote(shuffled)); !mapsEqual(got, want) {
+				t.Fatalf("trial %d: surviving set depends on input order\n got: %v\nwant: %v",
+					trial, got, want)
+			}
+		}
+	}
+}
+
+func mapsEqual(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
 }

@@ -124,7 +124,7 @@ func TestEnumerateMinRandomProperties(t *testing.T) {
 		n := 2 + rng.Intn(5)
 		root := rng.Intn(n)
 		edges := randomDigraph(rng, n)
-		arbs, w0, err := EnumerateMin(n, root, edges, 1e-9, 16)
+		arbs, w0, _, err := EnumerateMin(n, root, edges, 1e-9, 16)
 		if err != nil {
 			continue
 		}

@@ -1,0 +1,50 @@
+package arborescence
+
+import (
+	"fmt"
+	"testing"
+)
+
+// contractedGraph builds a graph that forces Edmonds' algorithm through
+// repeated cycle contractions: k rings whose internal edges are cheap (so
+// each ring's minimum in-edges form a cycle) joined to the root by
+// expensive entry edges, plus cross edges to keep the contracted levels
+// non-trivial.
+func contractedGraph(k, ringLen int) (n int, edges []Edge) {
+	n = 1 + k*ringLen
+	for r := 0; r < k; r++ {
+		base := 1 + r*ringLen
+		for i := 0; i < ringLen; i++ {
+			from := base + i
+			to := base + (i+1)%ringLen
+			edges = append(edges, Edge{From: from, To: to, W: 1})
+		}
+		// Expensive entry from the root into one ring node.
+		edges = append(edges, Edge{From: 0, To: base, W: 10})
+		// A cross edge from the previous ring, slightly cheaper than the
+		// root entry, so contraction decisions interact across rings.
+		if r > 0 {
+			edges = append(edges, Edge{From: base - 1, To: base, W: 5})
+		}
+	}
+	return n, edges
+}
+
+// BenchmarkSolveContracted measures the contraction/expansion path of the
+// Edmonds solver on cycle-heavy graphs — the workload the slice-backed
+// edge set replaced the old map[int]bool + sort.Ints expansion for.
+func BenchmarkSolveContracted(b *testing.B) {
+	for _, shape := range []struct{ rings, ringLen int }{
+		{2, 4}, {8, 8}, {16, 16},
+	} {
+		n, edges := contractedGraph(shape.rings, shape.ringLen)
+		b.Run(fmt.Sprintf("rings=%d,len=%d", shape.rings, shape.ringLen), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := MinArborescence(n, 0, edges); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"path/filepath"
@@ -61,6 +62,16 @@ type Config struct {
 	// all parallel stages write to index-owned slots and are merged in a
 	// fixed order.
 	Workers int
+	// Pool, when non-nil, draws every fan-out's helper goroutines from a
+	// corpus-wide shared worker pool instead of the private Workers budget,
+	// so concurrent analyses compete for one global parallelism bound (see
+	// internal/pool and internal/corpus). Results are unaffected.
+	Pool *pool.Shared
+	// Scratch, when non-nil, supplies the reusable per-goroutine query
+	// scratch for the distance sweep, letting concurrent analyses share one
+	// recycled buffer set instead of warming private ones. Results are
+	// unaffected. Nil uses the process-wide default pool.
+	Scratch *slm.ScratchPool
 	// CacheDir, when non-empty, enables the content-addressed snapshot
 	// cache (internal/snapshot): after a cold analysis the derived
 	// artifacts are persisted under this directory keyed by the image's
@@ -147,6 +158,11 @@ type FamilyResult struct {
 	Arbs []map[uint64]uint64
 	// Weight is the minimum arborescence weight.
 	Weight float64
+	// Truncated reports that the co-optimal enumeration for this family was
+	// cut short by an internal cap of arborescence.EnumerateMin (over-size
+	// graph fallback or step budget), so Arbs may under-represent the true
+	// co-optimal set. Hitting the caller-chosen EnumLimit is not flagged.
+	Truncated bool
 }
 
 // Result is the pipeline output.
@@ -216,27 +232,63 @@ func TypeNamer(meta *image.Metadata) func(uint64) string {
 // internal/snapshot); a fully warm run restores every derived artifact
 // and recomputes nothing.
 func Analyze(img *image.Image, cfg Config) (*Result, error) {
+	return AnalyzeContext(context.Background(), img, cfg)
+}
+
+// withDefaults resolves the zero-value Config fields exactly as Analyze
+// does, so probes (ProbeSnapshot) and the analysis itself derive the same
+// snapshot key.
+func (c Config) withDefaults() Config {
+	if c.SLMDepth <= 0 {
+		c.SLMDepth = 2
+	}
+	if c.RootWeightFactor <= 1 {
+		c.RootWeightFactor = 8
+	}
+	if c.EnumLimit <= 0 {
+		c.EnumLimit = 64
+	}
+	if c.EnumEps <= 0 {
+		c.EnumEps = 1e-9
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	c.Trace.Workers = c.Workers
+	c.Trace.Pool = c.Pool
+	return c
+}
+
+// ProbeSnapshot predicts, without running anything, how much of a cached
+// snapshot an AnalyzeContext(img, cfg) call could reuse, by reading only
+// the snapshot file's header. It returns one of the snapshot reuse levels
+// (snapshot.LevelNone .. LevelHierarchy). The probe is advisory — the
+// analysis re-validates the full checksummed snapshot on load — but cheap
+// enough for an admission scheduler to classify images as warm or cold
+// before committing a worker slot.
+func ProbeSnapshot(img *image.Image, cfg Config) int {
+	if cfg.CacheDir == "" || !cfg.UseSLM {
+		return snapshot.LevelNone
+	}
+	cfg = cfg.withDefaults()
+	key := cfg.snapshotKey(img)
+	onDisk, err := snapshot.ReadKey(filepath.Join(cfg.CacheDir, key.FileName()))
+	if err != nil {
+		return snapshot.LevelNone
+	}
+	return min(key.Usable(&snapshot.Snapshot{Key: onDisk}), cfg.Invalidate.maxLevel())
+}
+
+// AnalyzeContext is Analyze with cancellation: when ctx is canceled,
+// every fan-out stops issuing new work, the in-flight units drain, and the
+// analysis returns ctx.Err() promptly without writing a snapshot.
+func AnalyzeContext(ctx context.Context, img *image.Image, cfg Config) (*Result, error) {
 	if img.Meta != nil {
 		// The analysis must never see ground truth; insist on a stripped
 		// image rather than silently ignoring the metadata.
 		return nil, fmt.Errorf("core: refusing to analyze a non-stripped image (call Strip first)")
 	}
-	if cfg.SLMDepth <= 0 {
-		cfg.SLMDepth = 2
-	}
-	if cfg.RootWeightFactor <= 1 {
-		cfg.RootWeightFactor = 8
-	}
-	if cfg.EnumLimit <= 0 {
-		cfg.EnumLimit = 64
-	}
-	if cfg.EnumEps <= 0 {
-		cfg.EnumEps = 1e-9
-	}
-	if cfg.Workers <= 0 {
-		cfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	cfg.Trace.Workers = cfg.Workers
+	cfg = cfg.withDefaults()
 
 	// Snapshot lookup: usable level = sections whose fingerprints match,
 	// capped by the requested invalidation granularity. Any read or decode
@@ -267,7 +319,10 @@ func Analyze(img *image.Image, cfg Config) (*Result, error) {
 		}
 		res.Funcs = fns
 		res.VTables = vtable.Discover(img, fns)
-		res.Tracelets = objtrace.Extract(img, fns, res.VTables, cfg.Trace)
+		res.Tracelets, err = objtrace.ExtractContext(ctx, img, fns, res.VTables, cfg.Trace)
+		if err != nil {
+			return nil, err
+		}
 		res.Structural = structural.Analyze(img, fns, res.VTables, res.Tracelets, cfg.Structural)
 	}
 	if !cfg.UseSLM {
@@ -278,13 +333,13 @@ func Analyze(img *image.Image, cfg Config) (*Result, error) {
 	}
 	if level >= snapshot.LevelModels {
 		res.Frozen = snap.Frozen
-	} else {
-		res.trainModels(cfg)
+	} else if err := res.trainModels(ctx, cfg); err != nil {
+		return nil, err
 	}
 	if level >= snapshot.LevelHierarchy {
 		res.restoreHierarchy(snap)
 	} else {
-		if err := res.buildHierarchy(cfg); err != nil {
+		if err := res.buildHierarchy(ctx, cfg); err != nil {
 			return nil, err
 		}
 		res.chooseMultiParents()
@@ -328,7 +383,7 @@ func (r *Result) restoreHierarchy(snap *snapshot.Snapshot) {
 	r.Dist = snap.Dist
 	r.Families = make([]FamilyResult, len(snap.Families))
 	for i, fr := range snap.Families {
-		r.Families[i] = FamilyResult{Types: fr.Types, Weight: fr.Weight, Arbs: fr.Arbs}
+		r.Families[i] = FamilyResult{Types: fr.Types, Weight: fr.Weight, Truncated: fr.Truncated, Arbs: fr.Arbs}
 	}
 	var all []uint64
 	for _, v := range r.VTables {
@@ -364,7 +419,7 @@ func (r *Result) writeSnapshot(path string, key snapshot.Key) error {
 		MultiParents: r.MultiParents,
 	}
 	for i, fr := range r.Families {
-		snap.Families[i] = snapshot.Family{Types: fr.Types, Weight: fr.Weight, Arbs: fr.Arbs}
+		snap.Families[i] = snapshot.Family{Types: fr.Types, Weight: fr.Weight, Truncated: fr.Truncated, Arbs: fr.Arbs}
 	}
 	for _, t := range r.Hierarchy.Nodes() {
 		if p, ok := r.Hierarchy.Parent(t); ok {
@@ -459,7 +514,7 @@ func encode(idx map[objtrace.Event]int, tl objtrace.Tracelet) []int {
 // only its own tracelets), so training and freezing fan out over the
 // worker pool; models land in index-owned slots and the maps are
 // assembled serially.
-func (r *Result) trainModels(cfg Config) {
+func (r *Result) trainModels(ctx context.Context, cfg Config) error {
 	idx := r.symIndex()
 	alpha := len(r.Alphabet)
 	if alpha == 0 {
@@ -467,20 +522,23 @@ func (r *Result) trainModels(cfg Config) {
 	}
 	models := make([]*slm.Model, len(r.VTables))
 	frozen := make([]*slm.Frozen, len(r.VTables))
-	pool.ForEachIndex(cfg.Workers, len(r.VTables), func(i int) {
+	if err := pool.ForEach(ctx, cfg.Pool, cfg.Workers, len(r.VTables), func(i int) {
 		m := slm.New(cfg.SLMDepth, alpha)
 		for _, tl := range r.Tracelets.PerType[r.VTables[i].Addr] {
 			m.Train(encode(idx, tl))
 		}
 		models[i] = m
 		frozen[i] = m.Freeze()
-	})
+	}); err != nil {
+		return err
+	}
 	r.Models = make(map[uint64]*slm.Model, len(r.VTables))
 	r.Frozen = make(map[uint64]*slm.Frozen, len(r.VTables))
 	for i, v := range r.VTables {
 		r.Models[v.Addr] = models[i]
 		r.Frozen[v.Addr] = frozen[i]
 	}
+	return nil
 }
 
 // familyWords returns the union of distinct tracelets across all family
@@ -516,7 +574,7 @@ type familyOutcome struct {
 // arborescence depend only on its own members), so they are analyzed
 // concurrently into index-owned slots; the outcomes are merged in family
 // order, making the merged Result identical to a serial run.
-func (r *Result) buildHierarchy(cfg Config) error {
+func (r *Result) buildHierarchy(ctx context.Context, cfg Config) error {
 	r.buildWords()
 	r.Dist = map[[2]uint64]float64{}
 
@@ -527,9 +585,11 @@ func (r *Result) buildHierarchy(cfg Config) error {
 	r.Hierarchy = hierarchy.NewForest(all)
 
 	outs := make([]*familyOutcome, len(r.Structural.Families))
-	pool.ForEachIndex(cfg.Workers, len(r.Structural.Families), func(i int) {
-		outs[i] = r.analyzeFamily(cfg, r.Structural.Families[i])
-	})
+	if err := pool.ForEach(ctx, cfg.Pool, cfg.Workers, len(r.Structural.Families), func(i int) {
+		outs[i] = r.analyzeFamily(ctx, cfg, r.Structural.Families[i])
+	}); err != nil {
+		return err
+	}
 
 	for i, out := range outs {
 		if out.err != nil {
@@ -555,7 +615,7 @@ func (r *Result) buildHierarchy(cfg Config) error {
 // ordered pairs reduce the cached distributions, each pair writing its own
 // slot. All model evaluation goes through the frozen flat tries — the
 // allocation-free kernel — which are bit-identical to the builders.
-func (r *Result) analyzeFamily(cfg Config, fam []uint64) *familyOutcome {
+func (r *Result) analyzeFamily(ctx context.Context, cfg Config, fam []uint64) *familyOutcome {
 	out := &familyOutcome{fr: FamilyResult{Types: append([]uint64(nil), fam...)}}
 	if len(fam) == 1 {
 		out.fr.Arbs = []map[uint64]uint64{{}}
@@ -566,18 +626,23 @@ func (r *Result) analyzeFamily(cfg Config, fam []uint64) *familyOutcome {
 	// word set.
 	words := r.familyWords(fam)
 	calc := slm.NewDistanceCalculator(cfg.Metric, words)
+	calc.SetScratchPool(cfg.Scratch)
 	n := len(fam)
-	pool.ForEachIndex(cfg.Workers, n, func(i int) {
+	if out.err = pool.ForEach(ctx, cfg.Pool, cfg.Workers, n, func(i int) {
 		calc.Precompute(r.Frozen[fam[i]])
-	})
+	}); out.err != nil {
+		return out
+	}
 	dists := make([]float64, n*n)
-	pool.ForEachIndex(cfg.Workers, n*n, func(k int) {
+	if out.err = pool.ForEach(ctx, cfg.Pool, cfg.Workers, n*n, func(k int) {
 		p, c := fam[k/n], fam[k%n]
 		if p == c {
 			return
 		}
 		dists[k] = calc.Distance(r.Frozen[p], r.Frozen[c])
-	})
+	}); out.err != nil {
+		return out
+	}
 	out.dist = make(map[[2]uint64]float64, n*(n-1))
 	maxD := 0.0
 	for k, d := range dists {
@@ -607,13 +672,14 @@ func (r *Result) analyzeFamily(cfg Config, fam []uint64) *familyOutcome {
 			})
 		}
 	}
-	arbs, w, err := arborescence.EnumerateMin(len(fam)+1, 0, edges, cfg.EnumEps, cfg.EnumLimit)
+	arbs, w, truncated, err := arborescence.EnumerateMin(len(fam)+1, 0, edges, cfg.EnumEps, cfg.EnumLimit)
 	if err != nil {
 		out.err = err
 		return out
 	}
 	arbs = arborescence.MajorityVote(arbs)
 	out.fr.Weight = w
+	out.fr.Truncated = truncated
 	for _, a := range arbs {
 		pm := map[uint64]uint64{}
 		for i, t := range fam {

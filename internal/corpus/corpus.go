@@ -1,0 +1,295 @@
+// Package corpus is the batch engine: it schedules many independent image
+// analyses over ONE shared bounded worker pool, replacing the sequential
+// per-image loops of suite evaluation and benchmarking.
+//
+// The scheduler is two-level. At the corpus level, admission bounds how
+// many images are in flight at once: a cold image must win an admission
+// slot, pass the soft memory gate, and acquire one token from the shared
+// pool before its analysis starts. Inside an admitted analysis, the
+// existing per-stage fan-outs (tracelet extraction, SLM training, distance
+// matrices) borrow additional helpers from the same pool via non-blocking
+// TryAcquire (see internal/pool), so total parallelism across all
+// concurrent analyses never exceeds the pool capacity, and a capacity-1
+// pool degrades to a fully serial run.
+//
+// Cache-aware bypass: images the caller classifies as warm (their
+// snapshot restores the whole analysis, see core.ProbeSnapshot) skip the
+// admission queue and the pool token entirely — restoring a snapshot is a
+// decode, not an analysis, so it must not occupy an analysis slot or wait
+// behind cold images. Warm launches run on their own bounded lane.
+//
+// Results stream on a channel in completion order for progress reporting,
+// while the final slice is index-owned: worker i writes only items[i], and
+// the aggregate is returned in input order — deep-equal to a sequential
+// per-image loop for every worker count.
+package corpus
+
+import (
+	"context"
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/pool"
+)
+
+// heapMetric is the live-heap gauge the scheduler samples. Reading it via
+// runtime/metrics costs microseconds (no stop-the-world), cheap enough to
+// sample at every admission and completion without hurting the Workers=1
+// serial-degradation overhead budget.
+const heapMetric = "/memory/classes/heap/objects:bytes"
+
+// Options bounds a corpus run. The zero value uses all CPUs, admits up to
+// Workers images, and sets no memory ceiling.
+type Options struct {
+	// Workers is the shared pool capacity — the corpus-wide bound on
+	// concurrently running analysis goroutines (admitted images plus all
+	// their fan-out helpers). 0 selects runtime.GOMAXPROCS(0); 1 runs the
+	// whole corpus serially. Results are identical for every value.
+	Workers int
+	// MaxInFlight bounds how many cold images may be admitted at once,
+	// independently of how many helpers each borrows. 0 defaults to
+	// Workers.
+	MaxInFlight int
+	// WarmInFlight bounds the warm bypass lane (snapshot decodes). 0
+	// defaults to Workers.
+	WarmInFlight int
+	// SoftMemBytes, when non-zero, is the corpus-wide soft heap ceiling:
+	// cold admission stalls while the live heap is at or above it and at
+	// least one image is in flight (one GC is attempted first so garbage
+	// does not throttle admission). At least one image is always admitted,
+	// so the ceiling can slow the corpus but never wedge it; it is soft —
+	// a single huge image may still exceed it.
+	SoftMemBytes uint64
+}
+
+// Item is one per-image outcome.
+type Item[T any] struct {
+	// Index is the image's position in the input order.
+	Index int
+	// Value is the run callback's result; meaningful only when Err is nil.
+	Value T
+	// Err is the per-image failure, or the context error for images whose
+	// launch was aborted by cancellation. One image failing does not abort
+	// the others.
+	Err error
+	// Warm reports the image went through the bypass lane.
+	Warm bool
+	// HeapGrowth is the live-heap delta observed across this image's run
+	// (clamped at zero). With concurrent images it is an attribution
+	// estimate, not an exact per-image peak.
+	HeapGrowth uint64
+}
+
+// Stats summarizes a finished corpus run.
+type Stats struct {
+	// PeakHeap is the highest live-heap sample observed during the run.
+	PeakHeap uint64
+	// Warm and Cold count the images per admission path.
+	Warm, Cold int
+}
+
+// Run schedules n images and blocks until all finish, returning the
+// index-ordered outcomes. warm (optional) classifies an image for the
+// bypass lane; run performs one image's work and receives the shared pool
+// to thread into its analysis config. The returned error is non-nil only
+// when ctx was canceled; per-image failures live in the items.
+func Run[T any](ctx context.Context, n int, opts Options,
+	warm func(i int) bool,
+	run func(ctx context.Context, i int, sh *pool.Shared) (T, error),
+) ([]Item[T], Stats, error) {
+	ch, wait := Stream(ctx, n, opts, warm, run)
+	for range ch {
+	}
+	return wait()
+}
+
+// Stream launches the corpus run and returns a channel yielding each
+// outcome as it completes (completion order — for progress display only)
+// plus a wait function returning the final index-ordered slice. The
+// channel is buffered to n, so a receiver that stops reading never blocks
+// the workers; wait drains nothing and may be called without consuming
+// the channel.
+func Stream[T any](ctx context.Context, n int, opts Options,
+	warm func(i int) bool,
+	run func(ctx context.Context, i int, sh *pool.Shared) (T, error),
+) (<-chan Item[T], func() ([]Item[T], Stats, error)) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = workers
+	}
+	warmInFlight := opts.WarmInFlight
+	if warmInFlight <= 0 {
+		warmInFlight = workers
+	}
+
+	sh := pool.NewShared(workers)
+	items := make([]Item[T], n)
+	for i := range items {
+		items[i] = Item[T]{Index: i}
+	}
+	out := make(chan Item[T], n)
+	admit := make(chan struct{}, maxInFlight)
+	warmLane := make(chan struct{}, warmInFlight)
+	// completions carries at most one pending wakeup for the memory gate;
+	// the gate re-checks its condition after every receive, so a collapsed
+	// burst of signals cannot strand it.
+	completions := make(chan struct{}, 1)
+	var inFlight atomic.Int64
+	var peakHeap atomic.Uint64
+	var nWarm, nCold atomic.Int64
+
+	sampleHeap := func() uint64 {
+		s := [1]metrics.Sample{{Name: heapMetric}}
+		metrics.Read(s[:])
+		h := s[0].Value.Uint64()
+		for {
+			prev := peakHeap.Load()
+			if h <= prev || peakHeap.CompareAndSwap(prev, h) {
+				break
+			}
+		}
+		return h
+	}
+
+	// memGate stalls cold admission while the heap sits at or above the
+	// soft ceiling. Progress guarantee: with nothing in flight the gate
+	// always opens — a corpus whose single images exceed the ceiling runs
+	// serially instead of deadlocking.
+	memGate := func() error {
+		if opts.SoftMemBytes == 0 {
+			return ctx.Err()
+		}
+		gced := false
+		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if inFlight.Load() == 0 || sampleHeap() < opts.SoftMemBytes {
+				return nil
+			}
+			if !gced {
+				// The sample counts garbage as pressure; collect once
+				// before concluding the live set is what's over the line.
+				runtime.GC()
+				gced = true
+				continue
+			}
+			select {
+			case <-completions:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	launch := func(i int, isWarm bool) {
+		inFlight.Add(1)
+		if isWarm {
+			nWarm.Add(1)
+		} else {
+			nCold.Add(1)
+		}
+		before := sampleHeap()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := run(ctx, i, sh)
+			after := sampleHeap()
+			it := Item[T]{Index: i, Value: v, Err: err, Warm: isWarm}
+			if after > before {
+				it.HeapGrowth = after - before
+			}
+			items[i] = it
+			if isWarm {
+				<-warmLane
+			} else {
+				sh.Release()
+				<-admit
+			}
+			inFlight.Add(-1)
+			select {
+			case completions <- struct{}{}:
+			default:
+			}
+			out <- it // buffered to n: never blocks
+		}()
+	}
+
+	abort := func(i int) {
+		items[i].Err = ctx.Err()
+		out <- items[i]
+	}
+
+	// Two launchers so a cold image waiting for admission never
+	// head-of-line-blocks a warm decode behind it (and vice versa).
+	isWarm := make([]bool, n)
+	for i := 0; i < n; i++ {
+		isWarm[i] = warm != nil && warm(i)
+	}
+	var launchers sync.WaitGroup
+	launchers.Add(2)
+	go func() { // warm lane
+		defer launchers.Done()
+		for i := 0; i < n; i++ {
+			if !isWarm[i] {
+				continue
+			}
+			select {
+			case warmLane <- struct{}{}:
+				launch(i, true)
+			case <-ctx.Done():
+				abort(i)
+			}
+		}
+	}()
+	go func() { // cold lane: admission slot, then memory gate, then pool token
+		defer launchers.Done()
+		for i := 0; i < n; i++ {
+			if isWarm[i] {
+				continue
+			}
+			select {
+			case admit <- struct{}{}:
+			case <-ctx.Done():
+				abort(i)
+				continue
+			}
+			if memGate() != nil {
+				<-admit
+				abort(i)
+				continue
+			}
+			if sh.Acquire(ctx) != nil {
+				<-admit
+				abort(i)
+				continue
+			}
+			launch(i, false)
+		}
+	}()
+
+	done := make(chan struct{})
+	var runErr error
+	go func() {
+		launchers.Wait()
+		wg.Wait()
+		runErr = ctx.Err()
+		close(out)
+		close(done)
+	}()
+	return out, func() ([]Item[T], Stats, error) {
+		<-done
+		return items, Stats{
+			PeakHeap: peakHeap.Load(),
+			Warm:     int(nWarm.Load()),
+			Cold:     int(nCold.Load()),
+		}, runErr
+	}
+}

@@ -1,0 +1,249 @@
+package corpus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pool"
+)
+
+// TestRunIndexOrdered: the final slice is index-owned regardless of
+// completion order or worker count, and values match a sequential loop.
+func TestRunIndexOrdered(t *testing.T) {
+	const n = 37
+	for _, workers := range []int{1, 2, 8} {
+		items, stats, err := Run(context.Background(), n, Options{Workers: workers}, nil,
+			func(ctx context.Context, i int, sh *pool.Shared) (int, error) {
+				return i * i, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(items) != n {
+			t.Fatalf("workers=%d: %d items, want %d", workers, len(items), n)
+		}
+		for i, it := range items {
+			if it.Index != i || it.Value != i*i || it.Err != nil {
+				t.Fatalf("workers=%d: items[%d] = %+v", workers, i, it)
+			}
+		}
+		if stats.Cold != n || stats.Warm != 0 {
+			t.Fatalf("workers=%d: stats %+v", workers, stats)
+		}
+	}
+}
+
+// TestRunBoundsConcurrency: at most Workers run callbacks execute at once
+// (the callbacks here do no nested fan-out, so the pool token per admitted
+// image is the whole bound).
+func TestRunBoundsConcurrency(t *testing.T) {
+	const n, workers = 40, 3
+	var cur, peak atomic.Int64
+	_, _, err := Run(context.Background(), n, Options{Workers: workers}, nil,
+		func(ctx context.Context, i int, sh *pool.Shared) (int, error) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("%d concurrent analyses, pool capacity %d", p, workers)
+	}
+}
+
+// TestWarmBypass: warm items skip the analysis pool entirely — with a
+// capacity-1 pool wedged by a slow cold image, every warm item still
+// completes before that image finishes.
+func TestWarmBypass(t *testing.T) {
+	const n = 6 // item 0 cold & slow, 1..5 warm
+	release := make(chan struct{})
+	warmDone := make(chan int, n)
+	items, stats, err := Run(context.Background(), n, Options{Workers: 1},
+		func(i int) bool { return i != 0 },
+		func(ctx context.Context, i int, sh *pool.Shared) (int, error) {
+			if i == 0 {
+				<-release
+				return 0, nil
+			}
+			warmDone <- i
+			if len(warmDone) == n-1 {
+				close(release)
+			}
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Warm != n-1 || stats.Cold != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	for i := 1; i < n; i++ {
+		if items[i].Value != i || !items[i].Warm {
+			t.Fatalf("items[%d] = %+v", i, items[i])
+		}
+	}
+}
+
+// TestPerItemErrorsDoNotAbort: one failing image is recorded in its slot;
+// the others complete.
+func TestPerItemErrorsDoNotAbort(t *testing.T) {
+	boom := errors.New("boom")
+	items, _, err := Run(context.Background(), 9, Options{Workers: 2}, nil,
+		func(ctx context.Context, i int, sh *pool.Shared) (int, error) {
+			if i == 4 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if i == 4 {
+			if !errors.Is(it.Err, boom) {
+				t.Fatalf("items[4].Err = %v", it.Err)
+			}
+		} else if it.Err != nil || it.Value != i {
+			t.Fatalf("items[%d] = %+v", i, it)
+		}
+	}
+}
+
+// TestCancellation: canceling mid-corpus returns promptly with ctx.Err(),
+// marks unlaunched items, and leaks no goroutines.
+func TestCancellation(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	const n = 64
+	var started atomic.Int64
+	items, _, err := Run(ctx, n, Options{Workers: 2}, nil,
+		func(ctx context.Context, i int, sh *pool.Shared) (int, error) {
+			if started.Add(1) == 2 { // both Workers slots are busy: cancel now
+				cancel()
+			}
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	launched := int(started.Load())
+	if launched >= n {
+		t.Fatalf("cancellation did not stop admission (%d launched)", launched)
+	}
+	var aborted int
+	for _, it := range items {
+		if !errors.Is(it.Err, context.Canceled) {
+			t.Fatalf("items[%d] = %+v, want Canceled", it.Index, it)
+		}
+		if it.Value == 0 && !it.Warm {
+			aborted++
+		}
+	}
+	_ = aborted
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > base {
+		t.Errorf("goroutines leaked: %d > baseline %d", g, base)
+	}
+}
+
+// TestMemGateProgress: a ceiling far below any real heap still lets the
+// corpus finish — the gate admits whenever nothing is in flight.
+func TestMemGateProgress(t *testing.T) {
+	items, _, err := Run(context.Background(), 8, Options{Workers: 4, SoftMemBytes: 1}, nil,
+		func(ctx context.Context, i int, sh *pool.Shared) (int, error) {
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if it.Err != nil || it.Value != i {
+			t.Fatalf("items[%d] = %+v", i, it)
+		}
+	}
+}
+
+// TestStreamDelivery: the streaming channel yields exactly one item per
+// image (completion order), and wait returns the same outcomes in index
+// order even if the channel was only partially consumed.
+func TestStreamDelivery(t *testing.T) {
+	const n = 20
+	ch, wait := Stream(context.Background(), n, Options{Workers: 4}, nil,
+		func(ctx context.Context, i int, sh *pool.Shared) (string, error) {
+			return fmt.Sprint(i), nil
+		})
+	seen := 0
+	for range ch {
+		seen++
+		if seen == n/2 {
+			break // abandon: must not block the workers
+		}
+	}
+	items, _, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != n/2 {
+		t.Fatalf("consumed %d", seen)
+	}
+	for i, it := range items {
+		if it.Value != fmt.Sprint(i) {
+			t.Fatalf("items[%d] = %+v", i, it)
+		}
+	}
+}
+
+// TestNestedFanOutSharesPool: run callbacks that themselves fan out over
+// the shared pool stay within the corpus-wide bound and complete (no
+// token deadlock between admission and helpers).
+func TestNestedFanOutSharesPool(t *testing.T) {
+	const n, workers = 10, 4
+	var cur, peak atomic.Int64
+	items, _, err := Run(context.Background(), n, Options{Workers: workers}, nil,
+		func(ctx context.Context, i int, sh *pool.Shared) (int, error) {
+			sum := int64(0)
+			err := pool.ForEach(ctx, sh, 1, 32, func(j int) {
+				c := cur.Add(1)
+				for {
+					p := peak.Load()
+					if c <= p || peak.CompareAndSwap(p, c) {
+						break
+					}
+				}
+				atomic.AddInt64(&sum, int64(j))
+				time.Sleep(100 * time.Microsecond)
+				cur.Add(-1)
+			})
+			return int(sum), err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 32 * 31 / 2
+	for i, it := range items {
+		if it.Err != nil || it.Value != want {
+			t.Fatalf("items[%d] = %+v, want value %d", i, it, want)
+		}
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("%d concurrent units, pool capacity %d", p, workers)
+	}
+}

@@ -1,0 +1,55 @@
+package eval
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCorpusDeterministicAcrossWorkers is the batch engine's acceptance
+// property: analyzing all 19 Table 2 benchmarks through the corpus
+// scheduler yields per-image results deep-equal to a serial run, for a
+// fully serial shared pool (Workers=1) and a contended one (Workers=8).
+func TestCorpusDeterministicAcrossWorkers(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	serial, err := RunBenchmarksWithConfig(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		c := core.DefaultConfig()
+		c.Workers = workers
+		outs, err := RunBenchmarksWithConfig(context.Background(), c)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(outs) != len(serial) {
+			t.Fatalf("workers=%d: %d outcomes, want %d", workers, len(outs), len(serial))
+		}
+		for i, o := range outs {
+			want := serial[i].Res
+			got := o.Res
+			if !reflect.DeepEqual(got.Dist, want.Dist) ||
+				!reflect.DeepEqual(got.Families, want.Families) ||
+				!reflect.DeepEqual(got.Hierarchy, want.Hierarchy) ||
+				!reflect.DeepEqual(got.MultiParents, want.MultiParents) ||
+				!reflect.DeepEqual(got.Structural, want.Structural) {
+				t.Errorf("workers=%d: benchmark %s diverged from the serial run",
+					workers, o.Bench.Name)
+			}
+		}
+	}
+}
+
+// TestCorpusCancellation: canceling the suite context aborts the corpus
+// run with the context error instead of returning partial outcomes.
+func TestCorpusCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunBenchmarksWithConfig(ctx, core.DefaultConfig()); err == nil {
+		t.Fatal("canceled corpus run returned nil error")
+	}
+}

@@ -10,14 +10,19 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/hierarchy"
 	"repro/internal/image"
+	"repro/internal/pool"
+	"repro/internal/slm"
+	"repro/internal/snapshot"
 )
 
 // Row is one Table 2 line: measured values plus the paper's reference.
@@ -197,16 +202,72 @@ func RunAll() ([]*Row, error) {
 	return RunAllWithConfig(core.DefaultConfig())
 }
 
+// BenchOutcome bundles one benchmark's built image and analysis result,
+// for callers that score or compare the raw pipeline output (rockbench).
+type BenchOutcome struct {
+	Bench *bench.Benchmark
+	Image *image.Image
+	Meta  *image.Metadata
+	Res   *core.Result
+}
+
+// RunBenchmarksWithConfig builds every registered benchmark and analyzes
+// the whole suite through the corpus batch engine (internal/corpus): all
+// images share ONE bounded worker pool of cfg.Workers, images whose
+// snapshots probe fully warm bypass the analysis queue, and the outcomes
+// come back in Table 2 order, deep-equal to a sequential per-image loop
+// for every worker count.
+func RunBenchmarksWithConfig(ctx context.Context, cfg core.Config) ([]*BenchOutcome, error) {
+	benches := bench.All()
+	outs := make([]*BenchOutcome, len(benches))
+	for i, b := range benches {
+		img, meta, err := b.Build()
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", b.Name, err)
+		}
+		outs[i] = &BenchOutcome{Bench: b, Image: img, Meta: meta}
+	}
+	cfg.UseSLM = true
+	scratch := slm.NewScratchPool()
+	items, _, err := corpus.Run(ctx, len(outs), corpus.Options{Workers: cfg.Workers},
+		func(i int) bool {
+			return core.ProbeSnapshot(outs[i].Image, cfg) == snapshot.LevelHierarchy
+		},
+		func(ctx context.Context, i int, sh *pool.Shared) (*core.Result, error) {
+			c := cfg
+			c.Pool = sh
+			c.Scratch = scratch
+			return core.AnalyzeContext(ctx, outs[i].Image, c)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, it := range items {
+		if it.Err != nil {
+			return nil, fmt.Errorf("bench %s: %w", benches[i].Name, it.Err)
+		}
+		outs[i].Res = it.Value
+	}
+	return outs, nil
+}
+
 // RunAllWithConfig evaluates every registered benchmark in Table 2 order
 // under a custom pipeline configuration (e.g. a fixed worker-pool size).
+// The suite is scheduled by the corpus engine — cross-image concurrency on
+// one shared pool — and the rows are identical to evaluating each
+// benchmark alone.
 func RunAllWithConfig(cfg core.Config) ([]*Row, error) {
-	var rows []*Row
-	for _, b := range bench.All() {
-		r, err := RunWithConfig(b, cfg)
+	outs, err := RunBenchmarksWithConfig(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]*Row, len(outs))
+	for i, o := range outs {
+		r, err := Score(o.Bench, o.Image, o.Meta, o.Res)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, r)
+		rows[i] = r
 	}
 	return rows, nil
 }

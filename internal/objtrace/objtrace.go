@@ -21,6 +21,7 @@
 package objtrace
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -129,6 +130,10 @@ type Config struct {
 	// them in function order, so the Result is byte-identical for every
 	// worker count.
 	Workers int
+	// Pool, when non-nil, draws the extraction's helper goroutines from a
+	// corpus-wide shared worker pool instead of the private Workers budget
+	// (see internal/pool). Neither Pool nor Workers affects the Result.
+	Pool *pool.Shared
 }
 
 // DefaultConfig returns the paper-calibrated bounds.
@@ -177,6 +182,14 @@ type Result struct {
 
 // Extract runs the symbolic execution over every function of the image.
 func Extract(img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Config) *Result {
+	res, _ := ExtractContext(context.Background(), img, fns, vts, cfg)
+	return res
+}
+
+// ExtractContext is Extract with cancellation: when ctx is canceled the
+// fan-out stops starting new per-function executions, drains the running
+// ones, and returns ctx.Err() with a nil Result.
+func ExtractContext(ctx context.Context, img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	res := &Result{
 		PerType:    map[uint64][]Tracelet{},
@@ -195,14 +208,16 @@ func Extract(img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Con
 	// function order so the (order-sensitive) deduplication below sees the
 	// segments exactly as a serial run would.
 	exs := make([]*executor, len(fns))
-	pool.ForEachIndex(cfg.Workers, len(fns), func(i int) {
+	if err := pool.ForEach(ctx, cfg.Pool, cfg.Workers, len(fns), func(i int) {
 		ex := &executor{
 			img: img, fn: fns[i], cfg: cfg, vtSet: vtSet,
 			thisTypes: res.FnVTables[fns[i].Entry],
 		}
 		ex.run()
 		exs[i] = ex
-	})
+	}); err != nil {
+		return nil, err
+	}
 	structSeen := map[string]bool{}
 	for i, fn := range fns {
 		ex := exs[i]
@@ -233,7 +248,7 @@ func Extract(img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Con
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // windows splits a sequence into tracelets of length at most w (sliding

@@ -1,8 +1,12 @@
 package pool
 
 import (
+	"context"
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // TestForEachIndex checks the worker-pool primitive: every index is
@@ -21,5 +25,143 @@ func TestForEachIndex(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestForEachShared runs fan-outs against a shared token pool: every
+// index is still visited exactly once, and the concurrently running fn
+// count never exceeds the pool capacity plus the one token-free caller.
+func TestForEachShared(t *testing.T) {
+	for _, capacity := range []int{1, 2, 4} {
+		sh := NewShared(capacity)
+		var running, peak atomic.Int32
+		hits := make([]int32, 64)
+		err := ForEach(context.Background(), sh, 0, len(hits), func(i int) {
+			r := running.Add(1)
+			for {
+				p := peak.Load()
+				if r <= p || peak.CompareAndSwap(p, r) {
+					break
+				}
+			}
+			atomic.AddInt32(&hits[i], 1)
+			time.Sleep(100 * time.Microsecond)
+			running.Add(-1)
+		})
+		if err != nil {
+			t.Fatalf("cap=%d: unexpected error %v", capacity, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("cap=%d: index %d visited %d times", capacity, i, h)
+			}
+		}
+		if p := int(peak.Load()); p > capacity+1 {
+			t.Errorf("cap=%d: %d fns ran concurrently, want <= %d", capacity, p, capacity+1)
+		}
+		if len(sh.tokens) != 0 {
+			t.Errorf("cap=%d: %d tokens leaked", capacity, len(sh.tokens))
+		}
+	}
+}
+
+// TestForEachSharedNestedProgress: a fan-out nested inside another
+// fan-out's fn must complete even when the pool is fully exhausted — the
+// caller always participates token-free, so nesting cannot deadlock.
+func TestForEachSharedNestedProgress(t *testing.T) {
+	sh := NewShared(1)
+	sh.tokens <- struct{}{} // exhaust the pool
+	defer func() { <-sh.tokens }()
+	var count atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ForEach(context.Background(), sh, 0, 8, func(i int) {
+			_ = ForEach(context.Background(), sh, 0, 4, func(j int) {
+				count.Add(1)
+			})
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("nested fan-out deadlocked on an exhausted pool")
+	}
+	if got := count.Load(); got != 32 {
+		t.Fatalf("nested fan-out ran %d inner calls, want 32", got)
+	}
+}
+
+// TestForEachCancellation is the pool half of the corpus cancellation
+// guarantee: canceling the context mid-fan-out stops new indices promptly,
+// drains the in-flight workers without deadlock, reports ctx.Err(), and
+// leaks no goroutines.
+func TestForEachCancellation(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for _, sh := range []*Shared{nil, NewShared(4)} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int32
+		release := make(chan struct{})
+		var once sync.Once
+		const n = 10000
+		err := ForEach(ctx, sh, 8, n, func(i int) {
+			started.Add(1)
+			once.Do(func() {
+				cancel()
+				close(release)
+			})
+			<-release
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("sh=%v: err = %v, want context.Canceled", sh != nil, err)
+		}
+		// Cancellation raced with index pulls already past the check, so a
+		// handful of extra fns may have started — but nowhere near all n.
+		if s := started.Load(); s == 0 || s >= n {
+			t.Fatalf("sh=%v: %d of %d fns started under cancellation", sh != nil, s, n)
+		}
+		if sh != nil && len(sh.tokens) != 0 {
+			t.Fatalf("canceled fan-out leaked %d tokens", len(sh.tokens))
+		}
+	}
+	// All helper goroutines must have drained (the fan-out waits for them
+	// before returning, so only scheduler lag can delay the count).
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if runtime.NumGoroutine() <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSharedAcquire covers the token pool's blocking and non-blocking
+// acquisition paths, including cancellation while blocked.
+func TestSharedAcquire(t *testing.T) {
+	sh := NewShared(2)
+	if sh.Cap() != 2 {
+		t.Fatalf("Cap = %d, want 2", sh.Cap())
+	}
+	if err := sh.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !sh.TryAcquire() {
+		t.Fatal("TryAcquire failed with a free token")
+	}
+	if sh.TryAcquire() {
+		t.Fatal("TryAcquire succeeded on an exhausted pool")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	if err := sh.Acquire(ctx); err != context.Canceled {
+		t.Fatalf("Acquire on exhausted pool = %v, want context.Canceled", err)
+	}
+	sh.Release()
+	sh.Release()
+	if NewShared(0).Cap() != 1 {
+		t.Fatal("NewShared(0) must clamp to capacity 1")
 	}
 }

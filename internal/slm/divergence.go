@@ -49,11 +49,19 @@ type WordScorer interface {
 // wordDist evaluates the model on every word and normalizes to a proper
 // distribution over the word set, so the divergences below are divergences
 // between distributions (the relative-entropy reading of §4.2.1: popular
-// behaviours weigh more than rare ones).
-func wordDist(m WordScorer, words [][]int) []float64 {
+// behaviours weigh more than rare ones). The returned distribution is a
+// fresh slice (callers retain it); the intermediate log-probability
+// buffer and the frozen-query scratch come from s when non-nil, so
+// repeated derivations allocate nothing beyond the retained result.
+func wordDist(m WordScorer, words [][]int, s *Scratch) []float64 {
 	ps := make([]float64, len(words))
 	// Work from log-probabilities with a max-shift for numerical stability.
-	lps := m.LogProbWords(words, nil)
+	var lps []float64
+	if s != nil {
+		lps = s.logProbWords(m, words)
+	} else {
+		lps = m.LogProbWords(words, nil)
+	}
 	maxLp := math.Inf(-1)
 	for _, lp := range lps {
 		if lp > maxLp {
@@ -82,7 +90,7 @@ func wordDist(m WordScorer, words [][]int) []float64 {
 // Exported for benchmarks and diagnostics; builder and frozen scorers
 // return bit-identical vectors.
 func WordDistribution(m WordScorer, words [][]int) []float64 {
-	return wordDist(m, words)
+	return wordDist(m, words, nil)
 }
 
 // klDist is the divergence kernel over two already-derived distributions.
@@ -129,7 +137,7 @@ func KL(a, b WordScorer, words [][]int) float64 {
 	if len(words) == 0 {
 		return 0
 	}
-	return klDist(wordDist(a, words), wordDist(b, words))
+	return klDist(wordDist(a, words, nil), wordDist(b, words, nil))
 }
 
 // JSDivergence returns the Jensen–Shannon divergence between the two models
@@ -138,7 +146,7 @@ func JSDivergence(a, b WordScorer, words [][]int) float64 {
 	if len(words) == 0 {
 		return 0
 	}
-	return jsDist(wordDist(a, words), wordDist(b, words))
+	return jsDist(wordDist(a, words, nil), wordDist(b, words, nil))
 }
 
 // JSDistance returns sqrt(JSDivergence), which satisfies the triangle
@@ -174,21 +182,36 @@ func Distance(metric Metric, a, b WordScorer, words [][]int) float64 {
 // are cached by identity, so pass frozen models (the pipeline does) or
 // builders consistently, not a mix of both forms of one model.
 type DistanceCalculator struct {
-	metric Metric
-	words  [][]int
+	metric  Metric
+	words   [][]int
+	scratch *ScratchPool
 
 	mu    sync.Mutex
 	cache map[WordScorer][]float64
 }
 
 // NewDistanceCalculator returns a calculator for the given metric and word
-// set. The word set must not be mutated afterwards.
+// set. The word set must not be mutated afterwards. Derivations draw
+// their query scratch from the process-wide shared pool; SetScratchPool
+// substitutes an explicit one (the corpus engine shares one pool across
+// every image of a run).
 func NewDistanceCalculator(metric Metric, words [][]int) *DistanceCalculator {
 	return &DistanceCalculator{
-		metric: metric,
-		words:  words,
-		cache:  make(map[WordScorer][]float64),
+		metric:  metric,
+		words:   words,
+		scratch: sharedScratch,
+		cache:   make(map[WordScorer][]float64),
 	}
+}
+
+// SetScratchPool replaces the pool the calculator's derivations borrow
+// query scratch from. Call before the first Precompute/Distance; a nil
+// pool restores the process-wide default.
+func (c *DistanceCalculator) SetScratchPool(sp *ScratchPool) {
+	if sp == nil {
+		sp = sharedScratch
+	}
+	c.scratch = sp
 }
 
 // Words returns the word set the calculator measures over.
@@ -209,7 +232,9 @@ func (c *DistanceCalculator) distribution(m WordScorer) []float64 {
 	if ok {
 		return d
 	}
-	d = wordDist(m, c.words)
+	s := c.scratch.Get()
+	d = wordDist(m, c.words, s)
+	c.scratch.Put(s)
 	c.mu.Lock()
 	if prev, ok := c.cache[m]; ok {
 		d = prev

@@ -202,6 +202,32 @@ func (f *Frozen) NewQuerier() *Querier {
 	}
 }
 
+// Rebind points the querier at another frozen model, reusing its scratch
+// buffers when they are large enough (the corpus engine pools queriers
+// across analyses this way instead of allocating one per model). Stale
+// exclusion stamps in a retained buffer are harmless: every stamp is at
+// most the querier's current epoch, and each query runs under a fresh
+// epoch, so old stamps can never read as "excluded".
+func (q *Querier) Rebind(f *Frozen) {
+	q.f = f
+	if cap(q.exclEpoch) < f.alphabet {
+		q.exclEpoch = make([]uint32, f.alphabet)
+		q.epoch = 0
+	} else {
+		old := len(q.exclEpoch)
+		q.exclEpoch = q.exclEpoch[:f.alphabet]
+		// Region beyond the previous length may hold stamps that predate
+		// an epoch wraparound (the wrap wipe only covers the then-current
+		// length); zero is always safe — queries run at epoch >= 1.
+		for i := old; i < f.alphabet; i++ {
+			q.exclEpoch[i] = 0
+		}
+	}
+	if cap(q.ctx) < f.depth+1 {
+		q.ctx = make([]int32, 0, f.depth+1)
+	}
+}
+
 // Model returns the frozen model this querier scores against.
 func (q *Querier) Model() *Frozen { return q.f }
 

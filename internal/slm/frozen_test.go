@@ -153,6 +153,74 @@ func TestFrozenQueryAllocs(t *testing.T) {
 	if n := testing.AllocsPerRun(100, func() { q.LogProbWords(words, out) }); n != 0 {
 		t.Errorf("Querier.LogProbWords allocates %v per op, want 0", n)
 	}
+
+	// The memoized distance path: once a calculator's distributions are
+	// warm, Distance is a pure reduction over the cached vectors — zero
+	// allocations per call (the corpus engine leans on this when sweeping
+	// many images through shared calculators).
+	m2 := New(2, 24)
+	for n := 0; n < 64; n++ {
+		m2.Train(randomSeq(rng, 24, 7))
+	}
+	f2 := m2.Freeze()
+	calc := NewDistanceCalculator(MetricKL, words)
+	calc.Precompute(f)
+	calc.Precompute(f2)
+	if n := testing.AllocsPerRun(100, func() { calc.Distance(f, f2) }); n != 0 {
+		t.Errorf("warm DistanceCalculator.Distance allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { calc.Precompute(f) }); n != 0 {
+		t.Errorf("warm DistanceCalculator.Precompute allocates %v per op, want 0", n)
+	}
+}
+
+// TestQuerierRebind: a querier rebound across models (the pooled corpus
+// scratch path) answers bit-identically to a fresh querier per model,
+// including when the new alphabet is smaller, equal, or larger than the
+// buffers it inherited.
+func TestQuerierRebind(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	models := make([]*Model, 12)
+	for i := range models {
+		models[i] = randomModel(rng)
+	}
+	var q *Querier
+	for trial := 0; trial < 60; trial++ {
+		m := models[rng.Intn(len(models))]
+		f := m.Freeze()
+		if q == nil {
+			q = f.NewQuerier()
+		} else {
+			q.Rebind(f)
+		}
+		for i := 0; i < 8; i++ {
+			sym := rng.Intn(m.Alphabet())
+			hist := randomSeq(rng, m.Alphabet(), m.Depth()+2)
+			sameBits(t, "rebound LogProb", q.LogProb(sym, hist), m.LogProb(sym, hist))
+		}
+	}
+}
+
+// TestQuerierRebindAfterWraparound: growing a rebound querier's exclusion
+// buffer must not resurrect stamps written before an epoch wraparound.
+func TestQuerierRebindAfterWraparound(t *testing.T) {
+	small := New(1, 4)
+	small.Train([]int{0, 1, 2, 3})
+	big := New(1, 16)
+	big.Train([]int{0, 5, 10, 15})
+	q := big.Freeze().NewQuerier()
+	for i := range q.exclEpoch {
+		q.exclEpoch[i] = math.MaxUint32 // poison the wide region pre-wrap
+	}
+	q.Rebind(small.Freeze())
+	q.epoch = math.MaxUint32 - 1 // wrap imminent; wipe covers only len 4
+	_ = q.LogProb(0, nil)
+	_ = q.LogProb(0, nil) // wraps; exclEpoch[0:4) wiped, epoch restarts
+	fb := big.Freeze()
+	q.Rebind(fb)
+	for sym := 0; sym < 16; sym++ {
+		sameBits(t, "post-wrap rebind", q.LogProb(sym, []int{5}), big.LogProb(sym, []int{5}))
+	}
 }
 
 // TestQuerierEpochWraparound: a querier whose epoch counter wraps must

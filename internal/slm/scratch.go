@@ -1,0 +1,60 @@
+package slm
+
+import "sync"
+
+// Scratch bundles the reusable query-side buffers one goroutine needs to
+// derive word distributions: a rebindable Querier (the allocation-free
+// frozen-trie query kernel) and the intermediate log-probability buffer.
+// A Scratch is not safe for concurrent use; obtain one per goroutine from
+// a ScratchPool.
+type Scratch struct {
+	q   *Querier
+	lps []float64
+}
+
+// logProbWords scores every word through the scratch buffers: frozen
+// scorers reuse (or rebind) the pooled Querier, other scorers evaluate
+// directly; either way the log-probability buffer is retained across
+// calls. The returned slice is valid until the next use of the Scratch.
+func (s *Scratch) logProbWords(m WordScorer, words [][]int) []float64 {
+	if f, ok := m.(*Frozen); ok {
+		if s.q == nil {
+			s.q = f.NewQuerier()
+		} else {
+			s.q.Rebind(f)
+		}
+		s.lps = s.q.LogProbWords(words, s.lps)
+		return s.lps
+	}
+	s.lps = m.LogProbWords(words, s.lps)
+	return s.lps
+}
+
+// ScratchPool shares Scratch values across goroutines and across
+// analyses: the corpus engine hands one pool to every image so queriers
+// and distribution buffers stop being re-allocated per image. The zero
+// value is ready to use; the pool is safe for concurrent use and its
+// contents are garbage-collectible under memory pressure (sync.Pool
+// semantics).
+type ScratchPool struct {
+	p sync.Pool
+}
+
+// NewScratchPool returns an empty pool.
+func NewScratchPool() *ScratchPool { return &ScratchPool{} }
+
+// Get returns a Scratch for exclusive use; pair with Put.
+func (sp *ScratchPool) Get() *Scratch {
+	if s, ok := sp.p.Get().(*Scratch); ok {
+		return s
+	}
+	return &Scratch{}
+}
+
+// Put returns a Scratch to the pool.
+func (sp *ScratchPool) Put(s *Scratch) { sp.p.Put(s) }
+
+// sharedScratch is the process-wide default pool, used by any
+// DistanceCalculator that was not handed an explicit pool — so even
+// independent sequential analyses in one process reuse query scratch.
+var sharedScratch = NewScratchPool()

@@ -40,6 +40,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -55,7 +56,8 @@ const (
 	magic = "RSNP"
 	// Version is the snapshot format version; bumped on any layout change.
 	// A version mismatch is a cache miss, never a decode attempt.
-	Version = 1
+	// v2: Family carries the enumeration-truncation flag.
+	Version = 2
 )
 
 // Section reuse levels, in dependency order.
@@ -114,6 +116,9 @@ type Family struct {
 	Types []uint64
 	// Weight is the minimum arborescence weight.
 	Weight float64
+	// Truncated records that the co-optimal enumeration for this family
+	// was cut short by an internal cap (see arborescence.EnumerateMin).
+	Truncated bool
 	// Arbs holds the surviving arborescences as child→parent maps.
 	Arbs []map[uint64]uint64
 }
@@ -150,6 +155,36 @@ func Load(path string) (*Snapshot, error) {
 		return nil, err
 	}
 	return Decode(data)
+}
+
+// ReadKey reads only the fixed-size header of a snapshot file — magic,
+// version, and the four key hashes — without loading or checksumming the
+// body. It is an advisory probe for cache-aware scheduling: a matching key
+// predicts a warm hit cheaply, but the full Load still validates the
+// checksum, so a stale or corrupt body is caught on the real read. Any
+// error (including a version mismatch) means "treat as cold".
+func ReadKey(path string) (Key, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Key{}, err
+	}
+	defer f.Close()
+	var hdr [4 + 4 + 4*32]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return Key{}, fmt.Errorf("snapshot: short header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return Key{}, fmt.Errorf("snapshot: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != Version {
+		return Key{}, fmt.Errorf("snapshot: unsupported version %d", v)
+	}
+	var k Key
+	copy(k.Digest[:], hdr[8:40])
+	copy(k.ExtractFP[:], hdr[40:72])
+	copy(k.ModelFP[:], hdr[72:104])
+	copy(k.HierFP[:], hdr[104:136])
+	return k, nil
 }
 
 // WriteFile atomically writes the encoded snapshot: the bytes land in a
@@ -299,6 +334,7 @@ func (s *Snapshot) Encode() ([]byte, error) {
 	for _, fr := range s.Families {
 		w.addrs(fr.Types)
 		w.u64(math.Float64bits(fr.Weight))
+		w.bool(fr.Truncated)
 		w.u32(uint32(len(fr.Arbs)))
 		for _, arb := range fr.Arbs {
 			w.pairsMap(arb)
@@ -438,9 +474,9 @@ func Decode(data []byte) (*Snapshot, error) {
 		p, c := r.u64(), r.u64()
 		s.Dist[[2]uint64{p, c}] = math.Float64frombits(r.u64())
 	}
-	n = r.count(16) // types count u32 + weight u64 + arbs count u32
+	n = r.count(17) // types count u32 + weight u64 + truncated u8 + arbs count u32
 	for i := 0; i < n && r.err == nil; i++ {
-		fr := Family{Types: r.addrs(), Weight: math.Float64frombits(r.u64())}
+		fr := Family{Types: r.addrs(), Weight: math.Float64frombits(r.u64()), Truncated: r.bool()}
 		na := r.count(4)
 		for j := 0; j < na && r.err == nil; j++ {
 			fr.Arbs = append(fr.Arbs, r.pairsMap())

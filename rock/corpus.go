@@ -1,0 +1,120 @@
+package rock
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/image"
+	"repro/internal/pool"
+	"repro/internal/slm"
+	"repro/internal/snapshot"
+)
+
+// CorpusOptions configures a batch analysis over many images. The
+// embedded Options apply to every image; Workers there is the capacity of
+// the ONE shared worker pool all analyses draw from (not a per-image
+// bound).
+type CorpusOptions struct {
+	Options
+	// MaxInFlight bounds how many cold images are analyzed concurrently.
+	// 0 defaults to Workers.
+	MaxInFlight int
+	// SoftMemBytes, when non-zero, is a corpus-wide soft heap ceiling: new
+	// cold analyses are not admitted while the live heap sits above it and
+	// something is already running. At least one image is always in
+	// flight, so the ceiling throttles but never wedges the batch.
+	SoftMemBytes uint64
+	// OnResult, when non-nil, streams each image's outcome as it completes
+	// (completion order, serialized calls) — for progress display. The
+	// final CorpusReport is always in input order regardless.
+	OnResult func(CorpusItem)
+}
+
+// CorpusItem is one image's outcome within a batch.
+type CorpusItem struct {
+	// Index is the image's position in the input slice.
+	Index int
+	// Report is the per-image analysis report; nil when Err is set.
+	Report *Report
+	// Err is this image's failure (other images are unaffected), or the
+	// context error if cancellation aborted the image.
+	Err error
+	// Warm reports the image restored fully from its snapshot and bypassed
+	// the analysis queue.
+	Warm bool
+}
+
+// CorpusReport aggregates a finished batch.
+type CorpusReport struct {
+	// Items holds the per-image outcomes in input order — identical to
+	// analyzing each image alone, for every worker count.
+	Items []CorpusItem
+	// PeakHeap is the highest live-heap sample observed during the batch.
+	PeakHeap uint64
+	// Warm and Cold count images per admission path.
+	Warm, Cold int
+}
+
+// AnalyzeCorpus analyzes many images as one batch over a shared bounded
+// worker pool (see internal/corpus): cross-image admission scheduling,
+// cache-aware warm bypass (with a CacheDir, images whose snapshots probe
+// fully warm decode immediately instead of queueing), shared query
+// scratch across analyses, and an optional soft memory ceiling. Per-image
+// results are deep-equal to AnalyzeImage run sequentially; the returned
+// error is non-nil only when ctx was canceled.
+func AnalyzeCorpus(ctx context.Context, images []*image.Image, opts CorpusOptions) (*CorpusReport, error) {
+	cfg, err := config(opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	n := len(images)
+	metas := make([]*image.Metadata, n)
+	stripped := make([]*image.Image, n)
+	for i, img := range images {
+		metas[i] = img.Meta
+		stripped[i] = img
+		if img.Meta != nil {
+			stripped[i] = img.Strip()
+		}
+	}
+	scratch := slm.NewScratchPool()
+	ch, wait := corpus.Stream(ctx, n,
+		corpus.Options{
+			Workers:      opts.Workers,
+			MaxInFlight:  opts.MaxInFlight,
+			SoftMemBytes: opts.SoftMemBytes,
+		},
+		func(i int) bool {
+			return core.ProbeSnapshot(stripped[i], cfg) == snapshot.LevelHierarchy
+		},
+		func(ctx context.Context, i int, sh *pool.Shared) (*Report, error) {
+			c := cfg
+			c.Pool = sh
+			c.Scratch = scratch
+			res, err := core.AnalyzeContext(ctx, stripped[i], c)
+			if err != nil {
+				return nil, err
+			}
+			return buildReport(res, metas[i]), nil
+		})
+	for it := range ch {
+		if opts.OnResult != nil {
+			opts.OnResult(CorpusItem{Index: it.Index, Report: it.Value, Err: it.Err, Warm: it.Warm})
+		}
+	}
+	items, stats, err := wait()
+	if err != nil {
+		return nil, err
+	}
+	rep := &CorpusReport{
+		Items:    make([]CorpusItem, n),
+		PeakHeap: stats.PeakHeap,
+		Warm:     stats.Warm,
+		Cold:     stats.Cold,
+	}
+	for i, it := range items {
+		rep.Items[i] = CorpusItem{Index: i, Report: it.Value, Err: it.Err, Warm: it.Warm}
+	}
+	return rep, nil
+}

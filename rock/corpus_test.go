@@ -1,0 +1,115 @@
+package rock
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/image"
+)
+
+func buildSuite(t *testing.T) []*image.Image {
+	t.Helper()
+	var imgs []*image.Image
+	for _, b := range bench.All() {
+		img, meta, err := b.Build()
+		if err != nil {
+			t.Fatalf("build %s: %v", b.Name, err)
+		}
+		img.Meta = meta // AnalyzeCorpus strips; names decorate the reports
+		imgs = append(imgs, img)
+	}
+	return imgs
+}
+
+// TestAnalyzeCorpusMatchesSequential: the batch engine's Reports are
+// deep-equal to AnalyzeImage run one image at a time, for a serial pool
+// and a contended one.
+func TestAnalyzeCorpusMatchesSequential(t *testing.T) {
+	imgs := buildSuite(t)
+	want := make([]*Report, len(imgs))
+	for i, img := range imgs {
+		rep, err := AnalyzeImage(img, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = rep
+	}
+	for _, workers := range []int{1, 8} {
+		var streamed int
+		var mu sync.Mutex
+		got, err := AnalyzeCorpus(context.Background(), imgs, CorpusOptions{
+			Options: Options{Workers: workers},
+			OnResult: func(CorpusItem) {
+				mu.Lock()
+				streamed++
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if streamed != len(imgs) {
+			t.Fatalf("workers=%d: streamed %d of %d results", workers, streamed, len(imgs))
+		}
+		if got.Cold != len(imgs) || got.Warm != 0 {
+			t.Fatalf("workers=%d: cacheless corpus classified %d warm", workers, got.Warm)
+		}
+		for i, it := range got.Items {
+			if it.Err != nil {
+				t.Fatalf("workers=%d: image %d: %v", workers, i, it.Err)
+			}
+			if !reflect.DeepEqual(it.Report, want[i]) {
+				t.Errorf("workers=%d: image %d report diverged from sequential AnalyzeImage", workers, i)
+			}
+		}
+	}
+}
+
+// TestAnalyzeCorpusWarmBypass: with a populated snapshot cache, a second
+// corpus pass classifies every image warm, bypasses the analysis queue,
+// and still returns reports deep-equal to the cold pass.
+func TestAnalyzeCorpusWarmBypass(t *testing.T) {
+	imgs := buildSuite(t)
+	cacheDir, err := os.MkdirTemp(t.TempDir(), "corpus-cache-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := CorpusOptions{Options: Options{Workers: 4, CacheDir: cacheDir}}
+	cold, err := AnalyzeCorpus(context.Background(), imgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Warm != 0 {
+		t.Fatalf("cold pass classified %d images warm", cold.Warm)
+	}
+	warm, err := AnalyzeCorpus(context.Background(), imgs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Warm != len(imgs) {
+		t.Fatalf("warm pass classified only %d of %d images warm", warm.Warm, len(imgs))
+	}
+	for i := range imgs {
+		if !warm.Items[i].Warm {
+			t.Errorf("image %d not flagged warm", i)
+		}
+		if !reflect.DeepEqual(warm.Items[i].Report, cold.Items[i].Report) {
+			t.Errorf("image %d warm report diverged from cold", i)
+		}
+	}
+}
+
+// TestAnalyzeCorpusCancellation: a canceled batch returns the context
+// error rather than partial results.
+func TestAnalyzeCorpusCancellation(t *testing.T) {
+	imgs := buildSuite(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AnalyzeCorpus(ctx, imgs, CorpusOptions{}); err == nil {
+		t.Fatal("canceled corpus returned nil error")
+	}
+}

@@ -114,14 +114,8 @@ func Analyze(binary []byte, opts Options) (*Report, error) {
 	return AnalyzeImage(img, opts)
 }
 
-// AnalyzeImage analyzes an already-loaded image. Metadata, if present, is
-// stripped before analysis and used only to decorate the report.
-func AnalyzeImage(img *image.Image, opts Options) (*Report, error) {
-	meta := img.Meta
-	stripped := img
-	if meta != nil {
-		stripped = img.Strip()
-	}
+// config translates the public Options into a pipeline configuration.
+func config(opts Options) (core.Config, error) {
 	cfg := core.DefaultConfig()
 	if opts.SLMDepth > 0 {
 		cfg.SLMDepth = opts.SLMDepth
@@ -138,22 +132,40 @@ func AnalyzeImage(img *image.Image, opts Options) (*Report, error) {
 	case "js-distance", "jsd":
 		cfg.Metric = slm.MetricJSDistance
 	default:
-		return nil, fmt.Errorf("rock: unknown metric %q", opts.Metric)
+		return cfg, fmt.Errorf("rock: unknown metric %q", opts.Metric)
 	}
 	cfg.UseSLM = !opts.StructuralOnly
 	cfg.Workers = opts.Workers
 	cfg.CacheDir = opts.CacheDir
 	inv, err := core.ParseInvalidate(opts.Invalidate)
 	if err != nil {
-		return nil, err
+		return cfg, err
 	}
 	cfg.Invalidate = inv
+	return cfg, nil
+}
 
+// AnalyzeImage analyzes an already-loaded image. Metadata, if present, is
+// stripped before analysis and used only to decorate the report.
+func AnalyzeImage(img *image.Image, opts Options) (*Report, error) {
+	meta := img.Meta
+	stripped := img
+	if meta != nil {
+		stripped = img.Strip()
+	}
+	cfg, err := config(opts)
+	if err != nil {
+		return nil, err
+	}
 	res, err := core.Analyze(stripped, cfg)
 	if err != nil {
 		return nil, err
 	}
+	return buildReport(res, meta), nil
+}
 
+// buildReport decorates a pipeline result into the public Report.
+func buildReport(res *core.Result, meta *image.Metadata) *Report {
 	rep := &Report{
 		PossibleParents:      map[uint64][]uint64{},
 		MultiParents:         map[uint64][]uint64{},
@@ -198,7 +210,7 @@ func AnalyzeImage(img *image.Image, opts Options) (*Report, error) {
 			return rep.GroundTruthEdges[i].Child < rep.GroundTruthEdges[j].Child
 		})
 	}
-	return rep, nil
+	return rep
 }
 
 // Name returns the display name of a type.
