@@ -5,7 +5,7 @@
 //
 //	rock [-metric kl|js-divergence|js-distance] [-depth D] [-window W]
 //	     [-workers N] [-cache DIR] [-invalidate LEVEL]
-//	     [-structural-only] [-v] image.rbin
+//	     [-structural-only] [-stats] [-trace FILE] [-v] image.rbin
 //	rock -corpus DIR [flags]
 //
 // The input is an image produced by this repository's compiler (see
@@ -23,6 +23,15 @@
 // configuration skips the whole pipeline, and configuration changes
 // invalidate only the stages they affect. -invalidate caps the reuse
 // (none, hierarchy, models, all) to force recomputation.
+//
+// -stats prints the per-stage observability table after the analysis:
+// wall time, allocation estimates, and cache-hit attribution (stages
+// restored from a snapshot show as "cached", disabled ones as "off"). In
+// corpus mode the table is printed per image. -trace FILE additionally
+// writes the run as chrome-tracing JSON — open it in Perfetto
+// (ui.perfetto.dev) to see the stages and every pool fan-out helper; in
+// corpus mode each image draws on its own lane, making the batch
+// scheduling visible. Neither flag changes results.
 package main
 
 import (
@@ -34,6 +43,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/image"
 	"repro/rock"
 )
@@ -42,39 +52,44 @@ func main() {
 	metric := flag.String("metric", "kl", "pairwise distance: kl, js-divergence, js-distance")
 	depth := flag.Int("depth", 2, "SLM maximum order D")
 	window := flag.Int("window", 7, "object tracelet window length")
-	workers := flag.Int("workers", 0, "analysis worker pool size (0 = all CPUs, 1 = serial)")
-	cacheDir := flag.String("cache", "", "snapshot cache directory (created if missing); repeat analyses of the same binary reuse cached stages")
-	invalidate := flag.String("invalidate", "none", "snapshot reuse cap: none, hierarchy, models, or all")
+	shared := cliutil.Register(flag.CommandLine)
 	structuralOnly := flag.Bool("structural-only", false, "skip the behavioral analysis (type families and possible parents only)")
 	corpusDir := flag.String("corpus", "", "analyze every *.rbin under this directory as one batch on a shared worker pool")
+	stats := flag.Bool("stats", false, "print the per-stage observability table (wall time, allocs, cache attribution)")
+	traceFile := flag.String("trace", "", "write a chrome-tracing (Perfetto) JSON trace of the run to this file")
 	verbose := flag.Bool("v", false, "print families and candidate parents")
 	flag.Parse()
+	if _, err := shared.Resolve(); err != nil {
+		cliutil.Usage("rock", err.Error())
+	}
 	opts := rock.Options{
 		Metric:         *metric,
 		SLMDepth:       *depth,
 		Window:         *window,
-		Workers:        *workers,
-		CacheDir:       *cacheDir,
-		Invalidate:     *invalidate,
+		Workers:        shared.Workers,
+		CacheDir:       shared.CacheDir,
+		Invalidate:     shared.Invalidate,
 		StructuralOnly: *structuralOnly,
 	}
-	if *cacheDir != "" {
-		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
-			fatal(err)
-		}
+	var trace *rock.Trace
+	if *traceFile != "" {
+		trace = rock.NewTrace()
 	}
 	if *corpusDir != "" {
 		if flag.NArg() != 0 {
-			fmt.Fprintln(os.Stderr, "usage: rock -corpus DIR [flags]")
-			os.Exit(2)
+			cliutil.Usage("rock", "usage: rock -corpus DIR [flags]")
 		}
-		runCorpus(*corpusDir, opts)
+		runCorpus(*corpusDir, opts, *stats, trace)
+		writeTrace(trace, *traceFile)
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rock [flags] image.rbin")
 		flag.Usage()
-		os.Exit(2)
+		cliutil.Usage("rock", "usage: rock [flags] image.rbin")
+	}
+	if *stats || trace != nil {
+		opts.Observer = rock.NewObserver()
+		opts.Observer.Trace = trace
 	}
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
@@ -100,6 +115,11 @@ func main() {
 			}
 		}
 	}
+	if *stats && rep.Stats != nil {
+		fmt.Println("\nper-stage stats:")
+		fmt.Print(rep.Stats.Table())
+	}
+	writeTrace(trace, *traceFile)
 	if *structuralOnly {
 		return
 	}
@@ -117,12 +137,23 @@ func main() {
 	}
 }
 
+// writeTrace serializes the chrome-tracing sink, if one was requested.
+func writeTrace(trace *rock.Trace, path string) {
+	if trace == nil {
+		return
+	}
+	if err := trace.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "rock: wrote trace to %s (open in ui.perfetto.dev)\n", path)
+}
+
 // runCorpus analyzes every *.rbin under dir as one batch: the images are
 // loaded up front, scheduled over a single shared worker pool, progress
 // streams as analyses complete, and per-image summaries print in file
 // order at the end (the batch result is deterministic — identical to
 // analyzing each image alone).
-func runCorpus(dir string, opts rock.Options) {
+func runCorpus(dir string, opts rock.Options, stats bool, trace *rock.Trace) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.rbin"))
 	if err != nil {
 		fatal(err)
@@ -144,6 +175,8 @@ func runCorpus(dir string, opts rock.Options) {
 	start := time.Now()
 	rep, err := rock.AnalyzeCorpus(context.Background(), imgs, rock.CorpusOptions{
 		Options: opts,
+		Observe: stats,
+		Trace:   trace,
 		OnResult: func(it rock.CorpusItem) {
 			state := "done"
 			if it.Warm {
@@ -176,6 +209,10 @@ func runCorpus(dir string, opts rock.Options) {
 			fmt.Print("  (warm)")
 		}
 		fmt.Println()
+		if stats && it.Stats != nil {
+			fmt.Printf("  queued %s before start\n", it.Wait.Round(time.Microsecond))
+			fmt.Print(it.Stats.Table())
+		}
 	}
 	fmt.Printf("corpus: %d images (%d warm, %d cold) in %s, peak heap %.1f MiB\n",
 		len(paths), rep.Warm, rep.Cold, elapsed.Round(time.Millisecond),
@@ -186,6 +223,5 @@ func runCorpus(dir string, opts rock.Options) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rock:", err)
-	os.Exit(1)
+	cliutil.Fatal("rock", err)
 }

@@ -28,48 +28,39 @@
 //	rockbench -emit DIR     write every benchmark image to DIR (for cmd/rock)
 //	rockbench -all          everything above except -emit
 //
+// Each mode lives in its own file (paper.go, pipeline.go, slm.go,
+// snapshot.go, corpus.go) over the shared harness in harness.go.
+//
 // The global -workers flag bounds the analysis worker pool in every mode
-// (0 = all CPUs, 1 = serial). -cpuprofile FILE and -memprofile FILE write
-// pprof profiles covering whichever experiments ran, so perf work can
-// measure instead of guess:
+// (0 = all CPUs, 1 = serial), and -cache/-invalidate thread the snapshot
+// cache settings into every analysis (the -snapshot and -corpus modes
+// measure their own temporary caches regardless). -cpuprofile FILE and
+// -memprofile FILE write pprof profiles covering whichever experiments
+// ran, so perf work can measure instead of guess:
 //
 //	rockbench -table2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
-	"context"
-	"encoding/json"
 	"flag"
-	"fmt"
 	"os"
-	"path/filepath"
-	"reflect"
 	"runtime"
 	"runtime/pprof"
-	"sort"
-	"strings"
-	"time"
 
-	"repro/internal/bench"
-	"repro/internal/compiler"
+	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/corpus"
-	"repro/internal/eval"
-	"repro/internal/image"
-	"repro/internal/pool"
-	"repro/internal/slm"
-	"repro/internal/snapshot"
-	"repro/internal/synth"
 )
 
-// workers is the global worker-pool bound applied to every experiment.
-var workers = flag.Int("workers", 0, "analysis worker pool size (0 = all CPUs, 1 = serial)")
+// shared holds the -workers/-cache/-invalidate flags every mode obeys.
+var shared *cliutil.Flags
 
 // benchConfig returns the paper-default pipeline configuration with the
-// -workers bound applied.
+// shared flags applied.
 func benchConfig() core.Config {
 	cfg := core.DefaultConfig()
-	cfg.Workers = *workers
+	if err := shared.Apply(&cfg); err != nil {
+		fatal(err)
+	}
 	return cfg
 }
 
@@ -89,7 +80,11 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap pprof profile to this file")
+	shared = cliutil.Register(flag.CommandLine)
 	flag.Parse()
+	if _, err := shared.Resolve(); err != nil {
+		cliutil.Usage("rockbench", err.Error())
+	}
 	if *all {
 		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench, *snapBench, *corpusBench = true, true, true, true, true, true, true, true, true, true
 	}
@@ -100,7 +95,7 @@ func main() {
 		}
 	}
 	if *jsonOut != "" && jsonModes > 1 && !*all {
-		fatal(fmt.Errorf("-json names a single output file; run -pipeline, -slm, -snapshot, and -corpus separately"))
+		cliutil.Usage("rockbench", "-json names a single output file; run -pipeline, -slm, -snapshot, and -corpus separately")
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -185,764 +180,10 @@ func main() {
 	}
 	if !ran {
 		flag.Usage()
-		os.Exit(2)
+		os.Exit(cliutil.ExitUsage)
 	}
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rockbench:", err)
-	os.Exit(1)
-}
-
-func runTable2() {
-	fmt.Println("== Table 2: application distance from H_P ==")
-	rows, err := eval.RunAllWithConfig(benchConfig())
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Println(eval.Table2(rows))
-}
-
-// runMotivating reproduces the §2 walk-through end to end.
-func runMotivating() {
-	fmt.Println("== §2 motivating example (Stream / Confirmable / Flushable) ==")
-	img, err := compiler.Compile(bench.Motivating(), compiler.DefaultOptions())
-	if err != nil {
-		fatal(err)
-	}
-	res, err := core.Analyze(img.Strip(), benchConfig())
-	if err != nil {
-		fatal(err)
-	}
-	name := core.TypeNamer(img.Meta)
-
-	fmt.Println("\nFig. 7 — usage sequences extracted from the stripped binary:")
-	var vts []uint64
-	for _, v := range res.VTables {
-		vts = append(vts, v.Addr)
-	}
-	sort.Slice(vts, func(i, j int) bool { return vts[i] < vts[j] })
-	for _, t := range vts {
-		fmt.Printf("  %s:\n", name(t))
-		for _, seq := range res.Tracelets.RawPerType[t] {
-			s := ""
-			for i, e := range seq {
-				if i > 0 {
-					s += "; "
-				}
-				s += e.String()
-			}
-			fmt.Printf("    %s\n", s)
-		}
-	}
-
-	fmt.Println("\npairwise DKL distances (parent || child):")
-	for _, p := range vts {
-		for _, c := range vts {
-			if p == c {
-				continue
-			}
-			fmt.Printf("  D( %-22s || %-22s ) = %.4f\n", name(p), name(c), res.Dist[[2]uint64{p, c}])
-		}
-	}
-
-	fmt.Println("\nreconstructed hierarchy (Fig. 6a):")
-	fmt.Print(res.Hierarchy.String(name))
-}
-
-// runSLMDump prints the trained SLM of the FlushableStream type — the
-// paper's Fig. 8 "trained statistical language model of Class3".
-func runSLMDump() {
-	fmt.Println("== Fig. 8: trained SLM (depth 2) of FlushableStream (Class3) ==")
-	img, err := compiler.Compile(bench.Motivating(), compiler.DefaultOptions())
-	if err != nil {
-		fatal(err)
-	}
-	res, err := core.Analyze(img.Strip(), benchConfig())
-	if err != nil {
-		fatal(err)
-	}
-	tm := img.Meta.TypeByName("FlushableStream")
-	if tm == nil {
-		fatal(fmt.Errorf("FlushableStream not emitted"))
-	}
-	m := res.Models[tm.VTable]
-	fmt.Print(m.Dump(res.SymbolName))
-}
-
-func runFig9() {
-	fmt.Println("== Fig. 9: CGridListCtrlEx ground truth vs reconstruction ==")
-	b := bench.ByName("CGridListCtrlEx")
-	img, meta, err := b.Build()
-	if err != nil {
-		fatal(err)
-	}
-	res, err := core.Analyze(img, benchConfig())
-	if err != nil {
-		fatal(err)
-	}
-	gt, err := eval.GroundTruthForest(meta)
-	if err != nil {
-		fatal(err)
-	}
-	name := core.TypeNamer(meta)
-	fmt.Println("\n(a) ground truth (CDialog and CEdit were optimized out):")
-	fmt.Print(gt.String(name))
-	fmt.Println("\n(b) reconstructed (the orphan pairs are spliced):")
-	fmt.Print(res.Hierarchy.String(name))
-}
-
-// runMetrics reruns the nine unresolvable benchmarks under each §6.4
-// metric and reports average with-SLM errors: the asymmetric DKL should
-// dominate the symmetric variants.
-func runMetrics() {
-	fmt.Println("== §6.4 Other Metrics: DKL vs JS-divergence vs JS-distance ==")
-	for _, metric := range []slm.Metric{slm.MetricKL, slm.MetricJSDivergence, slm.MetricJSDistance} {
-		totM, totA := 0.0, 0.0
-		n := 0
-		for _, b := range bench.All() {
-			if b.Resolvable {
-				continue
-			}
-			cfg := benchConfig()
-			cfg.Metric = metric
-			row, err := eval.RunWithConfig(b, cfg)
-			if err != nil {
-				fatal(err)
-			}
-			totM += row.WithMissing
-			totA += row.WithAdded
-			n++
-		}
-		fmt.Printf("  %-14s avg missing %.3f  avg added %.3f  (9 unresolvable benchmarks)\n",
-			metric.String(), totM/float64(n), totA/float64(n))
-	}
-}
-
-func runScale() {
-	fmt.Println("== §3.2 scalability: synthetic programs ==")
-	fmt.Printf("%8s %8s %10s %12s %12s\n", "families", "types", "funcs", "analysis", "parentAcc")
-	for _, fams := range []int{10, 25, 50, 100} {
-		p := synth.DefaultParams(7)
-		p.Families = fams
-		prog, _ := synth.Generate(p)
-		img, err := compiler.Compile(prog, compiler.DefaultOptions())
-		if err != nil {
-			fatal(err)
-		}
-		stripped := img.Strip()
-		start := time.Now()
-		res, err := core.Analyze(stripped, benchConfig())
-		if err != nil {
-			fatal(err)
-		}
-		elapsed := time.Since(start)
-		gt, err := eval.GroundTruthForest(img.Meta)
-		if err != nil {
-			fatal(err)
-		}
-		total, correct := 0, 0
-		for _, t := range gt.Nodes() {
-			wp, wok := gt.Parent(t)
-			gp, gok := res.Hierarchy.Parent(t)
-			total++
-			if wok == gok && (!wok || wp == gp) {
-				correct++
-			}
-		}
-		fmt.Printf("%8d %8d %10d %12s %11.1f%%\n",
-			fams, len(res.VTables), len(stripped.Entries), elapsed.Round(time.Millisecond),
-			100*float64(correct)/float64(total))
-	}
-}
-
-// pipelineResult is the JSON record emitted by -pipeline (the CI smoke
-// artifact BENCH_pipeline.json).
-type pipelineResult struct {
-	Benchmark  string  `json:"benchmark"`
-	Types      int     `json:"types"`
-	Families   int     `json:"families"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Workers    int     `json:"workers"`
-	Runs       int     `json:"runs"`
-	SerialNS   int64   `json:"serial_ns"`
-	ParallelNS int64   `json:"parallel_ns"`
-	Speedup    float64 `json:"speedup"`
-	Identical  bool    `json:"identical"`
-}
-
-// runPipeline measures the end-to-end analysis wall-clock of the largest
-// Table 2 benchmark (by image size) with Workers=1 against the parallel
-// pool, verifies the two results are deep-equal, and optionally writes the
-// measurement to a JSON file.
-func runPipeline(jsonPath string) {
-	fmt.Println("== pipeline: serial vs parallel wall-clock (largest benchmark) ==")
-	var largest *bench.Benchmark
-	var img *image.Image
-	for _, b := range bench.All() {
-		bi, _, err := b.Build()
-		if err != nil {
-			fatal(err)
-		}
-		if img == nil || len(bi.Code)+len(bi.Rodata) > len(img.Code)+len(img.Rodata) {
-			largest, img = b, bi
-		}
-	}
-
-	serialCfg := benchConfig()
-	serialCfg.Workers = 1
-	parCfg := benchConfig()
-	if parCfg.Workers == 0 {
-		parCfg.Workers = runtime.GOMAXPROCS(0)
-	}
-	if parCfg.Workers == 1 && runtime.GOMAXPROCS(0) > 1 {
-		parCfg.Workers = runtime.GOMAXPROCS(0)
-	}
-
-	const runs = 3
-	measure := func(cfg core.Config) (time.Duration, *core.Result) {
-		best := time.Duration(0)
-		var res *core.Result
-		for i := 0; i < runs; i++ {
-			start := time.Now()
-			r, err := core.Analyze(img, cfg)
-			if err != nil {
-				fatal(err)
-			}
-			if d := time.Since(start); best == 0 || d < best {
-				best = d
-			}
-			res = r
-		}
-		return best, res
-	}
-	serialD, serialRes := measure(serialCfg)
-	parD, parRes := measure(parCfg)
-
-	identical := reflect.DeepEqual(serialRes.Dist, parRes.Dist) &&
-		reflect.DeepEqual(serialRes.Families, parRes.Families) &&
-		reflect.DeepEqual(serialRes.MultiParents, parRes.MultiParents)
-
-	out := pipelineResult{
-		Benchmark:  largest.Name,
-		Types:      len(serialRes.VTables),
-		Families:   len(serialRes.Families),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    parCfg.Workers,
-		Runs:       runs,
-		SerialNS:   serialD.Nanoseconds(),
-		ParallelNS: parD.Nanoseconds(),
-		Speedup:    float64(serialD) / float64(parD),
-		Identical:  identical,
-	}
-	fmt.Printf("  benchmark %s: %d types, %d families\n", out.Benchmark, out.Types, out.Families)
-	fmt.Printf("  serial (workers=1):   %12s\n", serialD.Round(time.Microsecond))
-	fmt.Printf("  parallel (workers=%d): %12s\n", out.Workers, parD.Round(time.Microsecond))
-	fmt.Printf("  speedup %.2fx on GOMAXPROCS=%d, results identical: %v\n",
-		out.Speedup, out.GOMAXPROCS, identical)
-	if !identical {
-		fatal(fmt.Errorf("parallel pipeline diverged from the serial pipeline"))
-	}
-	if jsonPath != "" {
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("  wrote %s\n", jsonPath)
-	}
-}
-
-// slmResult is the JSON record emitted by -slm (the CI artifact
-// BENCH_slm.json): the map-based builder trie against the frozen
-// flat-trie kernel on the same deterministic corpus the repository's
-// BenchmarkLogProbSeq/BenchmarkWordDist use.
-type slmResult struct {
-	Alphabet          int     `json:"alphabet"`
-	Depth             int     `json:"depth"`
-	Words             int     `json:"words"`
-	BuilderSeqNS      float64 `json:"builder_logprobseq_ns"`
-	FrozenSeqNS       float64 `json:"frozen_logprobseq_ns"`
-	SeqSpeedup        float64 `json:"logprobseq_speedup"`
-	BuilderWordDistNS float64 `json:"builder_worddist_ns"`
-	FrozenWordDistNS  float64 `json:"frozen_worddist_ns"`
-	WordDistSpeedup   float64 `json:"worddist_speedup"`
-	BuilderSeqAllocs  float64 `json:"builder_logprobseq_allocs"`
-	FrozenSeqAllocs   float64 `json:"frozen_logprobseq_allocs"`
-	BuilderSeqBytes   float64 `json:"builder_logprobseq_bytes"`
-	FrozenSeqBytes    float64 `json:"frozen_logprobseq_bytes"`
-}
-
-// measureOp times fn in a ~200ms loop and reports ns, heap allocations,
-// and heap bytes per call (the rockbench equivalent of -benchmem).
-func measureOp(fn func()) (nsPerOp, allocsPerOp, bytesPerOp float64) {
-	fn() // warm up
-	var before, after runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	iters := 0
-	for time.Since(start) < 200*time.Millisecond {
-		fn()
-		iters++
-	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&after)
-	n := float64(iters)
-	return float64(elapsed.Nanoseconds()) / n,
-		float64(after.Mallocs-before.Mallocs) / n,
-		float64(after.TotalAlloc-before.TotalAlloc) / n
-}
-
-// runSLMBench measures the PPM-C query kernel in isolation: per-word
-// LogProbSeq and per-model word-distribution derivation, builder vs
-// frozen, on a deterministic corpus (alphabet 24, depth 2, 256 words of
-// length 7 — the shape of one family's sweep).
-func runSLMBench(jsonPath string) {
-	fmt.Println("== SLM kernel: map-based builder vs frozen flat trie ==")
-	const alpha, depth, nWords, wordLen = 24, 2, 256, 7
-	builder := slm.New(depth, alpha)
-	words := make([][]int, nWords)
-	for i := range words {
-		w := make([]int, wordLen)
-		for j := range w {
-			w[j] = (i*31 + j*17 + i*i%13) % alpha
-		}
-		words[i] = w
-		if i%2 == 0 {
-			builder.Train(w)
-		}
-	}
-	frozen := builder.Freeze()
-	querier := frozen.NewQuerier()
-
-	out := slmResult{Alphabet: alpha, Depth: depth, Words: nWords}
-	i := 0
-	out.BuilderSeqNS, out.BuilderSeqAllocs, out.BuilderSeqBytes = measureOp(func() {
-		builder.LogProbSeq(words[i%nWords])
-		i++
-	})
-	i = 0
-	out.FrozenSeqNS, out.FrozenSeqAllocs, out.FrozenSeqBytes = measureOp(func() {
-		querier.LogProbSeq(words[i%nWords])
-		i++
-	})
-	out.BuilderWordDistNS, _, _ = measureOp(func() { slm.WordDistribution(builder, words) })
-	out.FrozenWordDistNS, _, _ = measureOp(func() { slm.WordDistribution(frozen, words) })
-	out.SeqSpeedup = out.BuilderSeqNS / out.FrozenSeqNS
-	out.WordDistSpeedup = out.BuilderWordDistNS / out.FrozenWordDistNS
-
-	fmt.Printf("  corpus: alphabet %d, depth %d, %d words of length %d (%d trie nodes)\n",
-		alpha, depth, nWords, wordLen, frozen.Nodes())
-	fmt.Printf("  LogProbSeq  builder: %8.0f ns/op  %6.1f allocs/op  %7.0f B/op\n",
-		out.BuilderSeqNS, out.BuilderSeqAllocs, out.BuilderSeqBytes)
-	fmt.Printf("  LogProbSeq  frozen:  %8.0f ns/op  %6.1f allocs/op  %7.0f B/op  (%.2fx)\n",
-		out.FrozenSeqNS, out.FrozenSeqAllocs, out.FrozenSeqBytes, out.SeqSpeedup)
-	fmt.Printf("  wordDist    builder: %8.0f ns/op\n", out.BuilderWordDistNS)
-	fmt.Printf("  wordDist    frozen:  %8.0f ns/op  (%.2fx)\n", out.FrozenWordDistNS, out.WordDistSpeedup)
-	if jsonPath != "" {
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("  wrote %s\n", jsonPath)
-	}
-}
-
-// snapshotResult is the JSON record emitted by -snapshot (the CI artifact
-// BENCH_snapshot.json): end-to-end analysis wall-clock over the whole
-// Table 2 suite, cold (empty cache, so every run computes everything and
-// writes its snapshot) against warm (every run restores the hierarchy
-// stage from its snapshot).
-type snapshotResult struct {
-	Benchmarks int     `json:"benchmarks"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Workers    int     `json:"workers"`
-	WarmRuns   int     `json:"warm_runs"`
-	ColdNS     int64   `json:"cold_ns"`
-	WarmNS     int64   `json:"warm_ns"`
-	Speedup    float64 `json:"speedup"`
-	Identical  bool    `json:"identical"`
-	CacheBytes int64   `json:"cache_bytes"`
-}
-
-// snapshotResultsEqual compares the analysis outcome of a cold and a warm
-// run field by field. Funcs and Models are deliberately excluded: a warm
-// run never lifts functions or retains builder-form models (both are
-// documented as nil when their stage is restored from a snapshot).
-func snapshotResultsEqual(cold, warm *core.Result) bool {
-	return reflect.DeepEqual(cold.VTables, warm.VTables) &&
-		reflect.DeepEqual(cold.Structural, warm.Structural) &&
-		reflect.DeepEqual(cold.Tracelets, warm.Tracelets) &&
-		reflect.DeepEqual(cold.Alphabet, warm.Alphabet) &&
-		reflect.DeepEqual(cold.Frozen, warm.Frozen) &&
-		reflect.DeepEqual(cold.Dist, warm.Dist) &&
-		reflect.DeepEqual(cold.Families, warm.Families) &&
-		reflect.DeepEqual(cold.Hierarchy, warm.Hierarchy) &&
-		reflect.DeepEqual(cold.MultiParents, warm.MultiParents)
-}
-
-// runSnapshotBench measures the content-addressed snapshot cache on the
-// full Table 2 suite: a cold pass over an empty cache directory (computing
-// and persisting every snapshot) against warm passes that restore the
-// hierarchy stage, with every warm result verified deep-equal to its cold
-// counterpart. Image compilation is excluded from both timings.
-func runSnapshotBench(jsonPath string) {
-	fmt.Println("== snapshot cache: cold vs warm analysis (Table 2 suite) ==")
-	benches := bench.All()
-	imgs := make([]*image.Image, len(benches))
-	for i, b := range benches {
-		img, _, err := b.Build()
-		if err != nil {
-			fatal(err)
-		}
-		imgs[i] = img
-	}
-	cacheDir, err := os.MkdirTemp("", "rockbench-snap-")
-	if err != nil {
-		fatal(err)
-	}
-	defer os.RemoveAll(cacheDir)
-	cfg := benchConfig()
-	cfg.CacheDir = cacheDir
-
-	coldRes := make([]*core.Result, len(imgs))
-	coldStart := time.Now()
-	for i, img := range imgs {
-		r, err := core.Analyze(img, cfg)
-		if err != nil {
-			fatal(err)
-		}
-		coldRes[i] = r
-	}
-	coldD := time.Since(coldStart)
-	for i, r := range coldRes {
-		if r.SnapshotReuse != snapshot.LevelNone {
-			fatal(fmt.Errorf("%s: cold run reused a snapshot (level %d)", benches[i].Name, r.SnapshotReuse))
-		}
-	}
-
-	const warmRuns = 3
-	warmRes := make([]*core.Result, len(imgs))
-	warmD := time.Duration(0)
-	for run := 0; run < warmRuns; run++ {
-		start := time.Now()
-		for i, img := range imgs {
-			r, err := core.Analyze(img, cfg)
-			if err != nil {
-				fatal(err)
-			}
-			warmRes[i] = r
-		}
-		if d := time.Since(start); warmD == 0 || d < warmD {
-			warmD = d
-		}
-	}
-	identical := true
-	for i := range imgs {
-		if warmRes[i].SnapshotReuse != snapshot.LevelHierarchy {
-			fatal(fmt.Errorf("%s: warm run reused only level %d", benches[i].Name, warmRes[i].SnapshotReuse))
-		}
-		if !snapshotResultsEqual(coldRes[i], warmRes[i]) {
-			identical = false
-			fmt.Printf("  MISMATCH: %s warm result differs from cold\n", benches[i].Name)
-		}
-	}
-
-	var cacheBytes int64
-	entries, err := os.ReadDir(cacheDir)
-	if err != nil {
-		fatal(err)
-	}
-	for _, e := range entries {
-		if info, err := e.Info(); err == nil {
-			cacheBytes += info.Size()
-		}
-	}
-
-	out := snapshotResult{
-		Benchmarks: len(benches),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Workers:    *workers,
-		WarmRuns:   warmRuns,
-		ColdNS:     coldD.Nanoseconds(),
-		WarmNS:     warmD.Nanoseconds(),
-		Speedup:    float64(coldD) / float64(warmD),
-		Identical:  identical,
-		CacheBytes: cacheBytes,
-	}
-	fmt.Printf("  suite: %d benchmarks, %d snapshot files, %d bytes cached\n",
-		out.Benchmarks, len(entries), out.CacheBytes)
-	fmt.Printf("  cold (compute + persist): %12s\n", coldD.Round(time.Microsecond))
-	fmt.Printf("  warm (restore hierarchy): %12s  (best of %d)\n", warmD.Round(time.Microsecond), warmRuns)
-	fmt.Printf("  speedup %.2fx, results identical: %v\n", out.Speedup, identical)
-	if !identical {
-		fatal(fmt.Errorf("warm snapshot results diverged from cold results"))
-	}
-	if jsonPath != "" {
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("  wrote %s\n", jsonPath)
-	}
-}
-
-// corpusResult is the JSON record emitted by -corpus (the CI artifact
-// BENCH_corpus.json): the corpus batch engine against the sequential
-// per-image loop it replaced, over the whole Table 2 suite.
-type corpusResult struct {
-	Benchmarks int   `json:"benchmarks"`
-	GOMAXPROCS int   `json:"gomaxprocs"`
-	Workers    int   `json:"workers"`
-	Runs       int   `json:"runs"`
-	SeqNS      int64 `json:"seq_ns"`
-	Corpus1NS  int64 `json:"corpus1_ns"`
-	// Corpus1Overhead is corpus1/seq - 1: the scheduling cost of the batch
-	// engine when it degrades to a fully serial run (target ≤ 0.05).
-	Corpus1Overhead float64 `json:"corpus1_overhead"`
-	CorpusNNS       int64   `json:"corpusn_ns"`
-	Speedup         float64 `json:"speedup"`
-	ColdNS          int64   `json:"cold_ns"`
-	WarmNS          int64   `json:"warm_ns"`
-	WarmSpeedup     float64 `json:"warm_speedup"`
-	WarmImages      int     `json:"warm_images"`
-	Identical       bool    `json:"identical"`
-	PeakHeapBytes   uint64  `json:"peak_heap_bytes"`
-	PeakRSSKB       int64   `json:"peak_rss_kb"`
-}
-
-// corpusSuiteRun schedules the prebuilt suite through the batch engine.
-func corpusSuiteRun(imgs []*image.Image, cfg core.Config, workers int) ([]*core.Result, corpus.Stats, error) {
-	cfg.Workers = workers
-	scratch := slm.NewScratchPool()
-	items, stats, err := corpus.Run(context.Background(), len(imgs),
-		corpus.Options{Workers: workers},
-		func(i int) bool { return core.ProbeSnapshot(imgs[i], cfg) == snapshot.LevelHierarchy },
-		func(ctx context.Context, i int, sh *pool.Shared) (*core.Result, error) {
-			c := cfg
-			c.Pool = sh
-			c.Scratch = scratch
-			return core.AnalyzeContext(ctx, imgs[i], c)
-		})
-	if err != nil {
-		return nil, stats, err
-	}
-	res := make([]*core.Result, len(items))
-	for i, it := range items {
-		if it.Err != nil {
-			return nil, stats, fmt.Errorf("image %d: %w", i, it.Err)
-		}
-		res[i] = it.Value
-	}
-	return res, stats, nil
-}
-
-// peakRSSKB reads the process's high-water resident set (VmHWM) from
-// /proc/self/status; 0 on platforms without procfs.
-func peakRSSKB() int64 {
-	data, err := os.ReadFile("/proc/self/status")
-	if err != nil {
-		return 0
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		if strings.HasPrefix(line, "VmHWM:") {
-			var kb int64
-			fmt.Sscanf(strings.TrimPrefix(line, "VmHWM:"), "%d", &kb)
-			return kb
-		}
-	}
-	return 0
-}
-
-// runCorpusBench measures the corpus batch engine on the whole Table 2
-// suite: a sequential per-image loop (the code path the engine replaced)
-// against the corpus at workers 1 (serial-degradation overhead) and
-// workers N (cross-image speedup), then a cold and a warm cached corpus
-// pass (warm images bypass the analysis queue entirely). Every corpus
-// result is asserted deep-equal to the sequential loop — a divergence is
-// fatal. Image compilation is excluded from all timings.
-func runCorpusBench(jsonPath string) {
-	fmt.Println("== corpus batch engine: sequential loop vs shared-pool scheduling (Table 2 suite) ==")
-	benches := bench.All()
-	imgs := make([]*image.Image, len(benches))
-	for i, b := range benches {
-		img, _, err := b.Build()
-		if err != nil {
-			fatal(err)
-		}
-		imgs[i] = img
-	}
-	cfg := benchConfig()
-	nWorkers := *workers
-	if nWorkers <= 0 {
-		nWorkers = runtime.GOMAXPROCS(0)
-	}
-
-	// The three timed passes are interleaved within each round (and the
-	// best of each kept), so a slow container phase hits all of them
-	// alike instead of biasing whichever measurement block it landed on —
-	// the workers=1 overhead comparison is a few percent, well inside
-	// block-to-block noise on a shared machine.
-	const runs = 5
-	timed := func(d *time.Duration, res *[]*core.Result, f func() []*core.Result) {
-		start := time.Now()
-		out := f()
-		if e := time.Since(start); *d == 0 || e < *d {
-			*d = e
-		}
-		*res = out
-	}
-
-	// Sequential per-image loop, fully serial — the replaced code path.
-	seqCfg := cfg
-	seqCfg.Workers = 1
-	var seqD, corpus1D, corpusND time.Duration
-	var seqRes, corpus1Res, corpusNRes []*core.Result
-	for r := 0; r < runs; r++ {
-		timed(&seqD, &seqRes, func() []*core.Result {
-			out := make([]*core.Result, len(imgs))
-			for i, img := range imgs {
-				r, err := core.Analyze(img, seqCfg)
-				if err != nil {
-					fatal(err)
-				}
-				out[i] = r
-			}
-			return out
-		})
-		timed(&corpus1D, &corpus1Res, func() []*core.Result {
-			res, _, err := corpusSuiteRun(imgs, cfg, 1)
-			if err != nil {
-				fatal(err)
-			}
-			return res
-		})
-		timed(&corpusND, &corpusNRes, func() []*core.Result {
-			res, _, err := corpusSuiteRun(imgs, cfg, nWorkers)
-			if err != nil {
-				fatal(err)
-			}
-			return res
-		})
-	}
-
-	assertEqual := func(what string, got []*core.Result) {
-		for i := range got {
-			if !snapshotResultsEqual(seqRes[i], got[i]) {
-				fatal(fmt.Errorf("%s: %s diverged from the sequential loop", what, benches[i].Name))
-			}
-		}
-	}
-	assertEqual("corpus workers=1", corpus1Res)
-	assertEqual(fmt.Sprintf("corpus workers=%d", nWorkers), corpusNRes)
-
-	// Cold and warm cached passes: the cold pass computes and persists
-	// every snapshot; the warm pass probes every image fully warm and
-	// bypasses the analysis queue.
-	cacheDir, err := os.MkdirTemp("", "rockbench-corpus-")
-	if err != nil {
-		fatal(err)
-	}
-	defer os.RemoveAll(cacheDir)
-	cachedCfg := cfg
-	cachedCfg.CacheDir = cacheDir
-	coldStart := time.Now()
-	coldRes, coldStats, err := corpusSuiteRun(imgs, cachedCfg, nWorkers)
-	if err != nil {
-		fatal(err)
-	}
-	coldD := time.Since(coldStart)
-	if coldStats.Warm != 0 {
-		fatal(fmt.Errorf("cold corpus pass classified %d images warm", coldStats.Warm))
-	}
-	assertEqual("corpus cold", coldRes)
-
-	var warmD time.Duration
-	var warmRes []*core.Result
-	var warmStats corpus.Stats
-	for r := 0; r < runs; r++ {
-		start := time.Now()
-		warmRes, warmStats, err = corpusSuiteRun(imgs, cachedCfg, nWorkers)
-		if err != nil {
-			fatal(err)
-		}
-		if d := time.Since(start); warmD == 0 || d < warmD {
-			warmD = d
-		}
-	}
-	if warmStats.Warm != len(imgs) {
-		fatal(fmt.Errorf("warm corpus pass classified only %d of %d images warm", warmStats.Warm, len(imgs)))
-	}
-	assertEqual("corpus warm", warmRes)
-
-	out := corpusResult{
-		Benchmarks:      len(benches),
-		GOMAXPROCS:      runtime.GOMAXPROCS(0),
-		Workers:         nWorkers,
-		Runs:            runs,
-		SeqNS:           seqD.Nanoseconds(),
-		Corpus1NS:       corpus1D.Nanoseconds(),
-		Corpus1Overhead: float64(corpus1D)/float64(seqD) - 1,
-		CorpusNNS:       corpusND.Nanoseconds(),
-		Speedup:         float64(seqD) / float64(corpusND),
-		ColdNS:          coldD.Nanoseconds(),
-		WarmNS:          warmD.Nanoseconds(),
-		WarmSpeedup:     float64(coldD) / float64(warmD),
-		WarmImages:      warmStats.Warm,
-		Identical:       true, // assertEqual is fatal on divergence
-		PeakHeapBytes:   warmStats.PeakHeap,
-		PeakRSSKB:       peakRSSKB(),
-	}
-	fmt.Printf("  suite: %d benchmarks, GOMAXPROCS %d\n", out.Benchmarks, out.GOMAXPROCS)
-	fmt.Printf("  sequential loop (workers=1):  %12s\n", seqD.Round(time.Microsecond))
-	fmt.Printf("  corpus (workers=1):           %12s  (overhead %+.1f%%)\n",
-		corpus1D.Round(time.Microsecond), 100*out.Corpus1Overhead)
-	fmt.Printf("  corpus (workers=%-2d):          %12s  (%.2fx vs sequential)\n",
-		nWorkers, corpusND.Round(time.Microsecond), out.Speedup)
-	fmt.Printf("  corpus cold (cache write):    %12s\n", coldD.Round(time.Microsecond))
-	fmt.Printf("  corpus warm (%2d/%2d bypass):   %12s  (%.1fx vs cold)\n",
-		out.WarmImages, out.Benchmarks, warmD.Round(time.Microsecond), out.WarmSpeedup)
-	fmt.Printf("  peak heap %.1f MiB, peak RSS %d KiB, results identical: %v\n",
-		float64(out.PeakHeapBytes)/(1<<20), out.PeakRSSKB, out.Identical)
-	if jsonPath != "" {
-		data, err := json.MarshalIndent(out, "", "  ")
-		if err != nil {
-			fatal(err)
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("  wrote %s\n", jsonPath)
-	}
-}
-
-func runEmit(dir string) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fatal(err)
-	}
-	for _, b := range bench.All() {
-		img, meta, err := b.Build()
-		if err != nil {
-			fatal(err)
-		}
-		img.Meta = meta // keep ground truth for display by cmd/rock
-		data, err := img.Marshal()
-		if err != nil {
-			fatal(err)
-		}
-		path := filepath.Join(dir, b.Name+".rbin")
-		if err := os.WriteFile(path, data, 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
-	}
+	cliutil.Fatal("rockbench", err)
 }

@@ -1,0 +1,203 @@
+package main
+
+// The paper-facing modes: every table and figure of the evaluation, plus
+// -emit for producing cmd/rock input images.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/eval"
+	"repro/internal/slm"
+	"repro/internal/synth"
+)
+
+func runTable2() {
+	fmt.Println("== Table 2: application distance from H_P ==")
+	rows, err := eval.RunAllWithConfig(benchConfig())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(eval.Table2(rows))
+}
+
+// runMotivating reproduces the §2 walk-through end to end.
+func runMotivating() {
+	fmt.Println("== §2 motivating example (Stream / Confirmable / Flushable) ==")
+	img, err := compiler.Compile(bench.Motivating(), compiler.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Analyze(img.Strip(), benchConfig())
+	if err != nil {
+		fatal(err)
+	}
+	name := core.TypeNamer(img.Meta)
+
+	fmt.Println("\nFig. 7 — usage sequences extracted from the stripped binary:")
+	var vts []uint64
+	for _, v := range res.VTables {
+		vts = append(vts, v.Addr)
+	}
+	sort.Slice(vts, func(i, j int) bool { return vts[i] < vts[j] })
+	for _, t := range vts {
+		fmt.Printf("  %s:\n", name(t))
+		for _, seq := range res.Tracelets.RawPerType[t] {
+			s := ""
+			for i, e := range seq {
+				if i > 0 {
+					s += "; "
+				}
+				s += e.String()
+			}
+			fmt.Printf("    %s\n", s)
+		}
+	}
+
+	fmt.Println("\npairwise DKL distances (parent || child):")
+	for _, p := range vts {
+		for _, c := range vts {
+			if p == c {
+				continue
+			}
+			fmt.Printf("  D( %-22s || %-22s ) = %.4f\n", name(p), name(c), res.Dist[[2]uint64{p, c}])
+		}
+	}
+
+	fmt.Println("\nreconstructed hierarchy (Fig. 6a):")
+	fmt.Print(res.Hierarchy.String(name))
+}
+
+// runSLMDump prints the trained SLM of the FlushableStream type — the
+// paper's Fig. 8 "trained statistical language model of Class3".
+func runSLMDump() {
+	fmt.Println("== Fig. 8: trained SLM (depth 2) of FlushableStream (Class3) ==")
+	img, err := compiler.Compile(bench.Motivating(), compiler.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Analyze(img.Strip(), benchConfig())
+	if err != nil {
+		fatal(err)
+	}
+	tm := img.Meta.TypeByName("FlushableStream")
+	if tm == nil {
+		fatal(fmt.Errorf("FlushableStream not emitted"))
+	}
+	m := res.Models[tm.VTable]
+	fmt.Print(m.Dump(res.SymbolName))
+}
+
+func runFig9() {
+	fmt.Println("== Fig. 9: CGridListCtrlEx ground truth vs reconstruction ==")
+	b := bench.ByName("CGridListCtrlEx")
+	img, meta, err := b.Build()
+	if err != nil {
+		fatal(err)
+	}
+	res, err := core.Analyze(img, benchConfig())
+	if err != nil {
+		fatal(err)
+	}
+	gt, err := eval.GroundTruthForest(meta)
+	if err != nil {
+		fatal(err)
+	}
+	name := core.TypeNamer(meta)
+	fmt.Println("\n(a) ground truth (CDialog and CEdit were optimized out):")
+	fmt.Print(gt.String(name))
+	fmt.Println("\n(b) reconstructed (the orphan pairs are spliced):")
+	fmt.Print(res.Hierarchy.String(name))
+}
+
+// runMetrics reruns the nine unresolvable benchmarks under each §6.4
+// metric and reports average with-SLM errors: the asymmetric DKL should
+// dominate the symmetric variants.
+func runMetrics() {
+	fmt.Println("== §6.4 Other Metrics: DKL vs JS-divergence vs JS-distance ==")
+	for _, metric := range []slm.Metric{slm.MetricKL, slm.MetricJSDivergence, slm.MetricJSDistance} {
+		totM, totA := 0.0, 0.0
+		n := 0
+		for _, b := range bench.All() {
+			if b.Resolvable {
+				continue
+			}
+			cfg := benchConfig()
+			cfg.Metric = metric
+			row, err := eval.RunWithConfig(b, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			totM += row.WithMissing
+			totA += row.WithAdded
+			n++
+		}
+		fmt.Printf("  %-14s avg missing %.3f  avg added %.3f  (9 unresolvable benchmarks)\n",
+			metric.String(), totM/float64(n), totA/float64(n))
+	}
+}
+
+func runScale() {
+	fmt.Println("== §3.2 scalability: synthetic programs ==")
+	fmt.Printf("%8s %8s %10s %12s %12s\n", "families", "types", "funcs", "analysis", "parentAcc")
+	for _, fams := range []int{10, 25, 50, 100} {
+		p := synth.DefaultParams(7)
+		p.Families = fams
+		prog, _ := synth.Generate(p)
+		img, err := compiler.Compile(prog, compiler.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		stripped := img.Strip()
+		start := time.Now()
+		res, err := core.Analyze(stripped, benchConfig())
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		gt, err := eval.GroundTruthForest(img.Meta)
+		if err != nil {
+			fatal(err)
+		}
+		total, correct := 0, 0
+		for _, t := range gt.Nodes() {
+			wp, wok := gt.Parent(t)
+			gp, gok := res.Hierarchy.Parent(t)
+			total++
+			if wok == gok && (!wok || wp == gp) {
+				correct++
+			}
+		}
+		fmt.Printf("%8d %8d %10d %12s %11.1f%%\n",
+			fams, len(res.VTables), len(stripped.Entries), elapsed.Round(time.Millisecond),
+			100*float64(correct)/float64(total))
+	}
+}
+
+func runEmit(dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, b := range bench.All() {
+		img, meta, err := b.Build()
+		if err != nil {
+			fatal(err)
+		}
+		img.Meta = meta // keep ground truth for display by cmd/rock
+		data, err := img.Marshal()
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(dir, b.Name+".rbin")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/obs"
+)
+
+// pipelineResult is the JSON record emitted by -pipeline (the CI smoke
+// artifact BENCH_pipeline.json).
+type pipelineResult struct {
+	Benchmark  string  `json:"benchmark"`
+	Types      int     `json:"types"`
+	Families   int     `json:"families"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	Runs       int     `json:"runs"`
+	SerialNS   int64   `json:"serial_ns"`
+	ParallelNS int64   `json:"parallel_ns"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"identical"`
+}
+
+// runPipeline measures the end-to-end analysis wall-clock of the largest
+// Table 2 benchmark (by image size) with Workers=1 against the parallel
+// pool, verifies the two results are deep-equal, and optionally writes the
+// measurement to a JSON file. The timed runs carry no observer — that is
+// the configuration whose regressions matter — and a separate observed
+// run afterwards prints the per-stage breakdown.
+func runPipeline(jsonPath string) {
+	fmt.Println("== pipeline: serial vs parallel wall-clock (largest benchmark) ==")
+	var largest *bench.Benchmark
+	var img *image.Image
+	for _, b := range bench.All() {
+		bi, _, err := b.Build()
+		if err != nil {
+			fatal(err)
+		}
+		if img == nil || len(bi.Code)+len(bi.Rodata) > len(img.Code)+len(img.Rodata) {
+			largest, img = b, bi
+		}
+	}
+
+	serialCfg := benchConfig()
+	serialCfg.Workers = 1
+	parCfg := benchConfig()
+	if parCfg.Workers == 0 {
+		parCfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if parCfg.Workers == 1 && runtime.GOMAXPROCS(0) > 1 {
+		parCfg.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	const runs = 3
+	measure := func(cfg core.Config) (time.Duration, *core.Result) {
+		best := time.Duration(0)
+		var res *core.Result
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			r, err := core.Analyze(img, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+			res = r
+		}
+		return best, res
+	}
+	serialD, serialRes := measure(serialCfg)
+	parD, parRes := measure(parCfg)
+
+	identical := reflect.DeepEqual(serialRes.Dist, parRes.Dist) &&
+		reflect.DeepEqual(serialRes.Families, parRes.Families) &&
+		reflect.DeepEqual(serialRes.MultiParents, parRes.MultiParents)
+
+	out := pipelineResult{
+		Benchmark:  largest.Name,
+		Types:      len(serialRes.VTables),
+		Families:   len(serialRes.Families),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    parCfg.Workers,
+		Runs:       runs,
+		SerialNS:   serialD.Nanoseconds(),
+		ParallelNS: parD.Nanoseconds(),
+		Speedup:    float64(serialD) / float64(parD),
+		Identical:  identical,
+	}
+	fmt.Printf("  benchmark %s: %d types, %d families\n", out.Benchmark, out.Types, out.Families)
+	fmt.Printf("  serial (workers=1):   %12s\n", serialD.Round(time.Microsecond))
+	fmt.Printf("  parallel (workers=%d): %12s\n", out.Workers, parD.Round(time.Microsecond))
+	fmt.Printf("  speedup %.2fx on GOMAXPROCS=%d, results identical: %v\n",
+		out.Speedup, out.GOMAXPROCS, identical)
+	if !identical {
+		fatal(fmt.Errorf("parallel pipeline diverged from the serial pipeline"))
+	}
+
+	// Untimed observed run: where did the parallel wall-clock go?
+	obsCfg := parCfg
+	obsCfg.Obs = obs.NewBus()
+	if _, err := core.Analyze(img, obsCfg); err != nil {
+		fatal(err)
+	}
+	fmt.Println("  per-stage breakdown (observed run, untimed):")
+	fmt.Print(obsCfg.Obs.Report().Table())
+
+	writeJSON(jsonPath, out)
+}

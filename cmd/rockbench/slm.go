@@ -1,0 +1,76 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/slm"
+)
+
+// slmResult is the JSON record emitted by -slm (the CI artifact
+// BENCH_slm.json): the map-based builder trie against the frozen
+// flat-trie kernel on the same deterministic corpus the repository's
+// BenchmarkLogProbSeq/BenchmarkWordDist use.
+type slmResult struct {
+	Alphabet          int     `json:"alphabet"`
+	Depth             int     `json:"depth"`
+	Words             int     `json:"words"`
+	BuilderSeqNS      float64 `json:"builder_logprobseq_ns"`
+	FrozenSeqNS       float64 `json:"frozen_logprobseq_ns"`
+	SeqSpeedup        float64 `json:"logprobseq_speedup"`
+	BuilderWordDistNS float64 `json:"builder_worddist_ns"`
+	FrozenWordDistNS  float64 `json:"frozen_worddist_ns"`
+	WordDistSpeedup   float64 `json:"worddist_speedup"`
+	BuilderSeqAllocs  float64 `json:"builder_logprobseq_allocs"`
+	FrozenSeqAllocs   float64 `json:"frozen_logprobseq_allocs"`
+	BuilderSeqBytes   float64 `json:"builder_logprobseq_bytes"`
+	FrozenSeqBytes    float64 `json:"frozen_logprobseq_bytes"`
+}
+
+// runSLMBench measures the PPM-C query kernel in isolation: per-word
+// LogProbSeq and per-model word-distribution derivation, builder vs
+// frozen, on a deterministic corpus (alphabet 24, depth 2, 256 words of
+// length 7 — the shape of one family's sweep).
+func runSLMBench(jsonPath string) {
+	fmt.Println("== SLM kernel: map-based builder vs frozen flat trie ==")
+	const alpha, depth, nWords, wordLen = 24, 2, 256, 7
+	builder := slm.New(depth, alpha)
+	words := make([][]int, nWords)
+	for i := range words {
+		w := make([]int, wordLen)
+		for j := range w {
+			w[j] = (i*31 + j*17 + i*i%13) % alpha
+		}
+		words[i] = w
+		if i%2 == 0 {
+			builder.Train(w)
+		}
+	}
+	frozen := builder.Freeze()
+	querier := frozen.NewQuerier()
+
+	out := slmResult{Alphabet: alpha, Depth: depth, Words: nWords}
+	i := 0
+	out.BuilderSeqNS, out.BuilderSeqAllocs, out.BuilderSeqBytes = measureOp(func() {
+		builder.LogProbSeq(words[i%nWords])
+		i++
+	})
+	i = 0
+	out.FrozenSeqNS, out.FrozenSeqAllocs, out.FrozenSeqBytes = measureOp(func() {
+		querier.LogProbSeq(words[i%nWords])
+		i++
+	})
+	out.BuilderWordDistNS, _, _ = measureOp(func() { slm.WordDistribution(builder, words) })
+	out.FrozenWordDistNS, _, _ = measureOp(func() { slm.WordDistribution(frozen, words) })
+	out.SeqSpeedup = out.BuilderSeqNS / out.FrozenSeqNS
+	out.WordDistSpeedup = out.BuilderWordDistNS / out.FrozenWordDistNS
+
+	fmt.Printf("  corpus: alphabet %d, depth %d, %d words of length %d (%d trie nodes)\n",
+		alpha, depth, nWords, wordLen, frozen.Nodes())
+	fmt.Printf("  LogProbSeq  builder: %8.0f ns/op  %6.1f allocs/op  %7.0f B/op\n",
+		out.BuilderSeqNS, out.BuilderSeqAllocs, out.BuilderSeqBytes)
+	fmt.Printf("  LogProbSeq  frozen:  %8.0f ns/op  %6.1f allocs/op  %7.0f B/op  (%.2fx)\n",
+		out.FrozenSeqNS, out.FrozenSeqAllocs, out.FrozenSeqBytes, out.SeqSpeedup)
+	fmt.Printf("  wordDist    builder: %8.0f ns/op\n", out.BuilderWordDistNS)
+	fmt.Printf("  wordDist    frozen:  %8.0f ns/op  (%.2fx)\n", out.FrozenWordDistNS, out.WordDistSpeedup)
+	writeJSON(jsonPath, out)
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/obs"
+	"repro/internal/snapshot"
+)
+
+// snapshotResult is the JSON record emitted by -snapshot (the CI artifact
+// BENCH_snapshot.json): end-to-end analysis wall-clock over the whole
+// Table 2 suite, cold (empty cache, so every run computes everything and
+// writes its snapshot) against warm (every run restores the hierarchy
+// stage from its snapshot).
+type snapshotResult struct {
+	Benchmarks int     `json:"benchmarks"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Workers    int     `json:"workers"`
+	WarmRuns   int     `json:"warm_runs"`
+	ColdNS     int64   `json:"cold_ns"`
+	WarmNS     int64   `json:"warm_ns"`
+	Speedup    float64 `json:"speedup"`
+	Identical  bool    `json:"identical"`
+	CacheBytes int64   `json:"cache_bytes"`
+}
+
+// runSnapshotBench measures the content-addressed snapshot cache on the
+// full Table 2 suite: a cold pass over an empty cache directory (computing
+// and persisting every snapshot) against warm passes that restore the
+// hierarchy stage, with every warm result verified deep-equal to its cold
+// counterpart. Image compilation is excluded from both timings; the timed
+// passes carry no observer, and a final untimed observed warm run prints
+// the per-stage table with its cache attribution.
+func runSnapshotBench(jsonPath string) {
+	fmt.Println("== snapshot cache: cold vs warm analysis (Table 2 suite) ==")
+	benches := bench.All()
+	imgs := make([]*image.Image, len(benches))
+	for i, b := range benches {
+		img, _, err := b.Build()
+		if err != nil {
+			fatal(err)
+		}
+		imgs[i] = img
+	}
+	cacheDir, err := os.MkdirTemp("", "rockbench-snap-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+	cfg := benchConfig()
+	cfg.CacheDir = cacheDir
+
+	coldRes := make([]*core.Result, len(imgs))
+	coldStart := time.Now()
+	for i, img := range imgs {
+		r, err := core.Analyze(img, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		coldRes[i] = r
+	}
+	coldD := time.Since(coldStart)
+	for i, r := range coldRes {
+		if r.SnapshotReuse != snapshot.LevelNone {
+			fatal(fmt.Errorf("%s: cold run reused a snapshot (level %d)", benches[i].Name, r.SnapshotReuse))
+		}
+	}
+
+	const warmRuns = 3
+	warmRes := make([]*core.Result, len(imgs))
+	warmD := time.Duration(0)
+	for run := 0; run < warmRuns; run++ {
+		start := time.Now()
+		for i, img := range imgs {
+			r, err := core.Analyze(img, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			warmRes[i] = r
+		}
+		if d := time.Since(start); warmD == 0 || d < warmD {
+			warmD = d
+		}
+	}
+	identical := true
+	for i := range imgs {
+		if warmRes[i].SnapshotReuse != snapshot.LevelHierarchy {
+			fatal(fmt.Errorf("%s: warm run reused only level %d", benches[i].Name, warmRes[i].SnapshotReuse))
+		}
+		if !snapshotResultsEqual(coldRes[i], warmRes[i]) {
+			identical = false
+			fmt.Printf("  MISMATCH: %s warm result differs from cold\n", benches[i].Name)
+		}
+	}
+
+	var cacheBytes int64
+	entries, err := os.ReadDir(cacheDir)
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil {
+			cacheBytes += info.Size()
+		}
+	}
+
+	out := snapshotResult{
+		Benchmarks: len(benches),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    shared.Workers,
+		WarmRuns:   warmRuns,
+		ColdNS:     coldD.Nanoseconds(),
+		WarmNS:     warmD.Nanoseconds(),
+		Speedup:    float64(coldD) / float64(warmD),
+		Identical:  identical,
+		CacheBytes: cacheBytes,
+	}
+	fmt.Printf("  suite: %d benchmarks, %d snapshot files, %d bytes cached\n",
+		out.Benchmarks, len(entries), out.CacheBytes)
+	fmt.Printf("  cold (compute + persist): %12s\n", coldD.Round(time.Microsecond))
+	fmt.Printf("  warm (restore hierarchy): %12s  (best of %d)\n", warmD.Round(time.Microsecond), warmRuns)
+	fmt.Printf("  speedup %.2fx, results identical: %v\n", out.Speedup, identical)
+	if !identical {
+		fatal(fmt.Errorf("warm snapshot results diverged from cold results"))
+	}
+
+	// Untimed observed warm run on the first benchmark: the per-stage
+	// table shows every pipeline stage attributed to the cache.
+	obsCfg := cfg
+	obsCfg.Obs = obs.NewBus()
+	if _, err := core.Analyze(imgs[0], obsCfg); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  per-stage attribution of a warm %s run (observed, untimed):\n", benches[0].Name)
+	fmt.Print(obsCfg.Obs.Report().Table())
+
+	writeJSON(jsonPath, out)
+}

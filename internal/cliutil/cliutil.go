@@ -1,0 +1,84 @@
+// Package cliutil holds the command-line plumbing the rock and rockbench
+// CLIs share: the analysis flags every mode accepts (-workers, -cache,
+// -invalidate), their validation, and the error-reporting conventions —
+// diagnostics go to stderr, usage mistakes exit with code 2, runtime
+// failures with code 1.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+// Exit codes. Usage problems (bad flags, wrong arity) and runtime
+// failures (analysis errors, I/O) are distinguishable to scripts.
+const (
+	ExitRuntime = 1
+	ExitUsage   = 2
+)
+
+// Flags is the shared analysis flag set.
+type Flags struct {
+	// Workers bounds the analysis worker pool (0 = all CPUs, 1 = serial).
+	Workers int
+	// CacheDir enables the content-addressed snapshot cache under this
+	// directory ("" = no caching). Created by Resolve if missing.
+	CacheDir string
+	// Invalidate is the snapshot reuse cap spelling: none, hierarchy,
+	// models, or all.
+	Invalidate string
+}
+
+// Register installs the shared flags on fs and returns their destination.
+// Both CLIs pass flag.CommandLine.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.IntVar(&f.Workers, "workers", 0, "analysis worker pool size (0 = all CPUs, 1 = serial)")
+	fs.StringVar(&f.CacheDir, "cache", "", "snapshot cache directory (created if missing); repeat analyses of the same binary reuse cached stages")
+	fs.StringVar(&f.Invalidate, "invalidate", "none", "snapshot reuse cap: none, hierarchy, models, or all")
+	return f
+}
+
+// Resolve validates the parsed flags: the invalidation spelling must
+// parse, and a requested cache directory is created. It returns the
+// parsed invalidation level.
+func (f *Flags) Resolve() (core.Invalidate, error) {
+	inv, err := core.ParseInvalidate(f.Invalidate)
+	if err != nil {
+		return 0, err
+	}
+	if f.CacheDir != "" {
+		if err := os.MkdirAll(f.CacheDir, 0o755); err != nil {
+			return 0, fmt.Errorf("creating cache directory: %w", err)
+		}
+	}
+	return inv, nil
+}
+
+// Apply resolves the flags and threads them into a pipeline config.
+func (f *Flags) Apply(cfg *core.Config) error {
+	inv, err := f.Resolve()
+	if err != nil {
+		return err
+	}
+	cfg.Workers = f.Workers
+	cfg.CacheDir = f.CacheDir
+	cfg.Invalidate = inv
+	return nil
+}
+
+// Fatal reports a runtime failure as "prog: err" on stderr and exits
+// with ExitRuntime.
+func Fatal(prog string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+	os.Exit(ExitRuntime)
+}
+
+// Usage reports a usage mistake on stderr and exits with ExitUsage.
+func Usage(prog, msg string) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", prog, msg)
+	os.Exit(ExitUsage)
+}

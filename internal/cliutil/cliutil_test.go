@@ -1,0 +1,46 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRegisterAndApply(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	dir := filepath.Join(t.TempDir(), "cache")
+	if err := fs.Parse([]string{"-workers", "3", "-cache", dir, "-invalidate", "models"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	if err := f.Apply(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 3 || cfg.CacheDir != dir || cfg.Invalidate != core.InvalidateModels {
+		t.Fatalf("applied config wrong: workers=%d cache=%q invalidate=%v", cfg.Workers, cfg.CacheDir, cfg.Invalidate)
+	}
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		t.Fatalf("cache dir not created: %v", err)
+	}
+}
+
+func TestResolveDefaultsAndErrors(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	inv, err := f.Resolve()
+	if err != nil || inv != core.InvalidateNone {
+		t.Fatalf("defaults: inv=%v err=%v", inv, err)
+	}
+
+	f.Invalidate = "bogus"
+	if _, err := f.Resolve(); err == nil {
+		t.Fatal("bogus invalidation level accepted")
+	}
+}

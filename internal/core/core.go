@@ -6,22 +6,27 @@
 // Kullback–Leibler divergence between the types' SLMs, and finds the most
 // likely hierarchy per family as a minimum-weight spanning arborescence,
 // handling co-optimal solutions with the paper's majority-vote heuristic.
+//
+// The pipeline itself is declared as a stage graph (internal/pipeline):
+// graph.go builds the stages and AnalyzeContext is a thin driver that
+// consults the snapshot cache, skips restored stages, and executes the
+// rest, optionally recorded on an observer bus (internal/obs). This file
+// holds the configuration, the Result type, and the per-stage algorithm
+// bodies the graph binds.
 package core
 
 import (
 	"context"
-	"crypto/sha256"
 	"fmt"
-	"path/filepath"
 	"runtime"
 	"sort"
 
 	"repro/internal/arborescence"
-	"repro/internal/disasm"
 	"repro/internal/hierarchy"
 	"repro/internal/image"
 	"repro/internal/ir"
 	"repro/internal/objtrace"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/slm"
 	"repro/internal/snapshot"
@@ -83,6 +88,11 @@ type Config struct {
 	// forcing recomputation of the later stages (and a rewrite of the
 	// snapshot). The zero value reuses everything valid.
 	Invalidate Invalidate
+	// Obs, when non-nil, records the run on an observer bus: per-stage
+	// wall time, allocation estimates, cache-hit attribution, and domain
+	// counters, plus trace spans when the bus carries a Trace. Results are
+	// unaffected, and a nil Obs costs nothing on the hot path.
+	Obs *obs.Bus
 }
 
 // Invalidate selects the snapshot-reuse granularity of a cached run.
@@ -259,125 +269,6 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// ProbeSnapshot predicts, without running anything, how much of a cached
-// snapshot an AnalyzeContext(img, cfg) call could reuse, by reading only
-// the snapshot file's header. It returns one of the snapshot reuse levels
-// (snapshot.LevelNone .. LevelHierarchy). The probe is advisory — the
-// analysis re-validates the full checksummed snapshot on load — but cheap
-// enough for an admission scheduler to classify images as warm or cold
-// before committing a worker slot.
-func ProbeSnapshot(img *image.Image, cfg Config) int {
-	if cfg.CacheDir == "" || !cfg.UseSLM {
-		return snapshot.LevelNone
-	}
-	cfg = cfg.withDefaults()
-	key := cfg.snapshotKey(img)
-	onDisk, err := snapshot.ReadKey(filepath.Join(cfg.CacheDir, key.FileName()))
-	if err != nil {
-		return snapshot.LevelNone
-	}
-	return min(key.Usable(&snapshot.Snapshot{Key: onDisk}), cfg.Invalidate.maxLevel())
-}
-
-// AnalyzeContext is Analyze with cancellation: when ctx is canceled,
-// every fan-out stops issuing new work, the in-flight units drain, and the
-// analysis returns ctx.Err() promptly without writing a snapshot.
-func AnalyzeContext(ctx context.Context, img *image.Image, cfg Config) (*Result, error) {
-	if img.Meta != nil {
-		// The analysis must never see ground truth; insist on a stripped
-		// image rather than silently ignoring the metadata.
-		return nil, fmt.Errorf("core: refusing to analyze a non-stripped image (call Strip first)")
-	}
-	cfg = cfg.withDefaults()
-
-	// Snapshot lookup: usable level = sections whose fingerprints match,
-	// capped by the requested invalidation granularity. Any read or decode
-	// failure is a cache miss.
-	var snap *snapshot.Snapshot
-	level := snapshot.LevelNone
-	cachePath := ""
-	var key snapshot.Key
-	if cfg.CacheDir != "" && cfg.UseSLM {
-		key = cfg.snapshotKey(img)
-		cachePath = filepath.Join(cfg.CacheDir, key.FileName())
-		if s, err := snapshot.Load(cachePath); err == nil {
-			snap = s
-			level = min(key.Usable(s), cfg.Invalidate.maxLevel())
-		}
-	}
-
-	res := &Result{Image: img, SnapshotReuse: level}
-	if level >= snapshot.LevelExtraction {
-		res.VTables = snap.VTables
-		res.Tracelets = snap.Tracelets
-		res.Structural = snap.Structural
-		res.Alphabet = snap.Alphabet
-	} else {
-		fns, err := disasm.All(img)
-		if err != nil {
-			return nil, fmt.Errorf("core: disassembly failed: %w", err)
-		}
-		res.Funcs = fns
-		res.VTables = vtable.Discover(img, fns)
-		res.Tracelets, err = objtrace.ExtractContext(ctx, img, fns, res.VTables, cfg.Trace)
-		if err != nil {
-			return nil, err
-		}
-		res.Structural = structural.Analyze(img, fns, res.VTables, res.Tracelets, cfg.Structural)
-	}
-	if !cfg.UseSLM {
-		return res, nil
-	}
-	if level < snapshot.LevelExtraction {
-		res.internAlphabet()
-	}
-	if level >= snapshot.LevelModels {
-		res.Frozen = snap.Frozen
-	} else if err := res.trainModels(ctx, cfg); err != nil {
-		return nil, err
-	}
-	if level >= snapshot.LevelHierarchy {
-		res.restoreHierarchy(snap)
-	} else {
-		if err := res.buildHierarchy(ctx, cfg); err != nil {
-			return nil, err
-		}
-		res.chooseMultiParents()
-	}
-	if cachePath != "" && level < snapshot.LevelHierarchy {
-		if err := res.writeSnapshot(cachePath, key); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
-}
-
-// fingerprint hashes one stage's canonical config rendering.
-func fingerprint(stage, canon string) [32]byte {
-	return sha256.Sum256([]byte(stage + "|" + canon))
-}
-
-// snapshotKey derives the cache key: the image content digest plus one
-// fingerprint per pipeline stage, each hashing exactly the configuration
-// that stage's output depends on. Workers appears in no fingerprint — the
-// pipeline's results are identical for every worker count.
-func (c Config) snapshotKey(img *image.Image) snapshot.Key {
-	tr := c.Trace.WithDefaults()
-	return snapshot.Key{
-		Digest: img.ContentDigest(),
-		ExtractFP: fingerprint("extract", fmt.Sprintf(
-			"paths=%d steps=%d unroll=%d window=%d tracelen=%d structural=%v,%v,%v,%v,%v",
-			tr.MaxPaths, tr.MaxSteps, tr.MaxUnroll, tr.Window, tr.MaxTraceLen,
-			c.Structural.DisableSharedSlots, c.Structural.DisableInstanceInstalls,
-			c.Structural.DisableCtorCalls, c.Structural.DisableSizeRule,
-			c.Structural.DisablePurecallRule)),
-		ModelFP: fingerprint("model", fmt.Sprintf("depth=%d", c.SLMDepth)),
-		HierFP: fingerprint("hier", fmt.Sprintf(
-			"metric=%d rootw=%.17g enumlimit=%d enumeps=%.17g",
-			c.Metric, c.RootWeightFactor, c.EnumLimit, c.EnumEps)),
-	}
-}
-
 // restoreHierarchy rebuilds the hierarchy-stage outputs from a snapshot.
 func (r *Result) restoreHierarchy(snap *snapshot.Snapshot) {
 	r.Dist = snap.Dist
@@ -515,6 +406,7 @@ func encode(idx map[objtrace.Event]int, tl objtrace.Tracelet) []int {
 // worker pool; models land in index-owned slots and the maps are
 // assembled serially.
 func (r *Result) trainModels(ctx context.Context, cfg Config) error {
+	ctx = obs.WithRegion(ctx, cfg.Obs, "train")
 	idx := r.symIndex()
 	alpha := len(r.Alphabet)
 	if alpha == 0 {
@@ -575,6 +467,7 @@ type familyOutcome struct {
 // concurrently into index-owned slots; the outcomes are merged in family
 // order, making the merged Result identical to a serial run.
 func (r *Result) buildHierarchy(ctx context.Context, cfg Config) error {
+	ctx = obs.WithRegion(ctx, cfg.Obs, "hierarchy")
 	r.buildWords()
 	r.Dist = map[[2]uint64]float64{}
 
@@ -627,6 +520,7 @@ func (r *Result) analyzeFamily(ctx context.Context, cfg Config, fam []uint64) *f
 	words := r.familyWords(fam)
 	calc := slm.NewDistanceCalculator(cfg.Metric, words)
 	calc.SetScratchPool(cfg.Scratch)
+	calc.SetObserver(cfg.Obs)
 	n := len(fam)
 	if out.err = pool.ForEach(ctx, cfg.Pool, cfg.Workers, n, func(i int) {
 		calc.Precompute(r.Frozen[fam[i]])
@@ -643,6 +537,7 @@ func (r *Result) analyzeFamily(ctx context.Context, cfg Config, fam []uint64) *f
 	}); out.err != nil {
 		return out
 	}
+	cfg.Obs.Add(obs.CntDistPairs, int64(n*(n-1)))
 	out.dist = make(map[[2]uint64]float64, n*(n-1))
 	maxD := 0.0
 	for k, d := range dists {
@@ -677,7 +572,9 @@ func (r *Result) analyzeFamily(ctx context.Context, cfg Config, fam []uint64) *f
 		out.err = err
 		return out
 	}
+	cfg.Obs.Add(obs.CntCoOptimal, int64(len(arbs)))
 	arbs = arborescence.MajorityVote(arbs)
+	cfg.Obs.Add(obs.CntArbsKept, int64(len(arbs)))
 	out.fr.Weight = w
 	out.fr.Truncated = truncated
 	for _, a := range arbs {

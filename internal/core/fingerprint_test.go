@@ -1,0 +1,76 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/snapshot"
+)
+
+// TestFingerprintCompat pins the graph-derived snapshot fingerprints to
+// the legacy hand-maintained scheme (one fingerprint per section, hashing
+// "tag|canon" with the canon laid out exactly as the pre-pipeline core
+// formatted it). Existing .rsnap caches were written under those bytes;
+// any divergence silently invalidates every user's cache, so this test
+// recomputes the legacy bytes from scratch and compares.
+func TestFingerprintCompat(t *testing.T) {
+	legacy := func(stage, canon string) [32]byte {
+		return sha256.Sum256([]byte(stage + "|" + canon))
+	}
+	check := func(name string, cfg Config) {
+		t.Helper()
+		cfg = cfg.withDefaults()
+		fps := cfg.graph(nil).Fingerprints()
+		tr := cfg.Trace.WithDefaults()
+		want := [pipeline.NumSections][32]byte{
+			pipeline.SecExtraction: legacy("extract", fmt.Sprintf(
+				"paths=%d steps=%d unroll=%d window=%d tracelen=%d structural=%v,%v,%v,%v,%v",
+				tr.MaxPaths, tr.MaxSteps, tr.MaxUnroll, tr.Window, tr.MaxTraceLen,
+				cfg.Structural.DisableSharedSlots, cfg.Structural.DisableInstanceInstalls,
+				cfg.Structural.DisableCtorCalls, cfg.Structural.DisableSizeRule,
+				cfg.Structural.DisablePurecallRule)),
+			pipeline.SecModels: legacy("model", fmt.Sprintf("depth=%d", cfg.SLMDepth)),
+			pipeline.SecHierarchy: legacy("hier", fmt.Sprintf(
+				"metric=%d rootw=%.17g enumlimit=%d enumeps=%.17g",
+				cfg.Metric, cfg.RootWeightFactor, cfg.EnumLimit, cfg.EnumEps)),
+		}
+		for sec := pipeline.Section(0); sec < pipeline.NumSections; sec++ {
+			if fps[sec] != want[sec] {
+				t.Errorf("%s: %s fingerprint diverged from the legacy scheme", name, sec.Tag())
+			}
+		}
+	}
+
+	check("default", DefaultConfig())
+
+	ablated := DefaultConfig()
+	ablated.SLMDepth = 3
+	ablated.Structural.DisableCtorCalls = true
+	ablated.Trace.MaxPaths = 7
+	ablated.EnumLimit = 5
+	ablated.RootWeightFactor = 2.5
+	check("ablated", ablated)
+
+	// Workers, Pool, and the observer must not influence the key.
+	a := DefaultConfig().withDefaults()
+	b := a
+	b.Workers = 17
+	b.Obs = obs.NewBus()
+	if a.graph(nil).Fingerprints() != b.graph(nil).Fingerprints() {
+		t.Error("workers/observer leaked into the snapshot fingerprints")
+	}
+}
+
+// TestGraphLevels pins the section→reuse-level correspondence the driver
+// relies on when skipping restored stages.
+func TestGraphLevels(t *testing.T) {
+	g := DefaultConfig().withDefaults().graph(nil)
+	for _, st := range g.Stages() {
+		if st.Section.Level() < snapshot.LevelExtraction || st.Section.Level() > snapshot.LevelHierarchy {
+			t.Errorf("stage %s: section level %d outside the snapshot reuse range", st.Name, st.Section.Level())
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/disasm"
+	"repro/internal/image"
+	"repro/internal/objtrace"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/snapshot"
+	"repro/internal/structural"
+	"repro/internal/vtable"
+)
+
+// behavioral marks the stages that exist only for the full (UseSLM)
+// analysis; under StructuralOnly they are reported as disabled.
+var behavioral = map[string]bool{
+	"alphabet": true, "train": true, "hierarchy": true, "multiparents": true,
+}
+
+// graph builds the pipeline stage graph for this configuration — the §4
+// chain as typed stages with declared artifacts, snapshot sections, and
+// canonical config renderings. The graph is the single source of truth
+// for the snapshot fingerprints: spec-only graphs (res == nil) carry no
+// Run hooks and exist just to derive keys (snapshotKey, ProbeSnapshot);
+// with a Result the stages are bound to that one analysis.
+//
+// The canon strings are load-bearing: section fingerprints hash them, so
+// any change invalidates every existing snapshot. cfg must already have
+// defaults resolved (withDefaults).
+func (c Config) graph(res *Result) *pipeline.Graph {
+	tr := c.Trace.WithDefaults()
+	bus := c.Obs
+	bind := func(f func(ctx context.Context) error) func(ctx context.Context) error {
+		if res == nil {
+			return nil
+		}
+		return f
+	}
+	g, err := pipeline.New(
+		[]pipeline.Artifact{pipeline.ArtImage},
+		pipeline.Stage{
+			Name:    "disasm",
+			Section: pipeline.SecExtraction,
+			Inputs:  []pipeline.Artifact{pipeline.ArtImage},
+			Outputs: []pipeline.Artifact{pipeline.ArtFuncs},
+			Run: bind(func(ctx context.Context) error {
+				fns, err := disasm.All(res.Image)
+				if err != nil {
+					return fmt.Errorf("core: disassembly failed: %w", err)
+				}
+				res.Funcs = fns
+				return nil
+			}),
+		},
+		pipeline.Stage{
+			Name:    "vtables",
+			Section: pipeline.SecExtraction,
+			Inputs:  []pipeline.Artifact{pipeline.ArtImage, pipeline.ArtFuncs},
+			Outputs: []pipeline.Artifact{pipeline.ArtVTables},
+			Run: bind(func(ctx context.Context) error {
+				res.VTables = vtable.Discover(res.Image, res.Funcs)
+				bus.Add(obs.CntVTables, int64(len(res.VTables)))
+				return nil
+			}),
+		},
+		pipeline.Stage{
+			Name:    "tracelets",
+			Section: pipeline.SecExtraction,
+			Inputs:  []pipeline.Artifact{pipeline.ArtImage, pipeline.ArtFuncs, pipeline.ArtVTables},
+			Outputs: []pipeline.Artifact{pipeline.ArtTracelets},
+			Canon: fmt.Sprintf("paths=%d steps=%d unroll=%d window=%d tracelen=%d",
+				tr.MaxPaths, tr.MaxSteps, tr.MaxUnroll, tr.Window, tr.MaxTraceLen),
+			Run: bind(func(ctx context.Context) error {
+				tls, err := objtrace.ExtractContext(ctx, res.Image, res.Funcs, res.VTables, c.Trace)
+				if err != nil {
+					return err
+				}
+				res.Tracelets = tls
+				for _, seqs := range tls.PerType {
+					bus.Add(obs.CntTracelets, int64(len(seqs)))
+				}
+				for _, seqs := range tls.RawPerType {
+					bus.Add(obs.CntRawTracelets, int64(len(seqs)))
+				}
+				return nil
+			}),
+		},
+		pipeline.Stage{
+			Name:    "structural",
+			Section: pipeline.SecExtraction,
+			Inputs:  []pipeline.Artifact{pipeline.ArtImage, pipeline.ArtFuncs, pipeline.ArtVTables, pipeline.ArtTracelets},
+			Outputs: []pipeline.Artifact{pipeline.ArtStructural},
+			Canon: fmt.Sprintf("structural=%v,%v,%v,%v,%v",
+				c.Structural.DisableSharedSlots, c.Structural.DisableInstanceInstalls,
+				c.Structural.DisableCtorCalls, c.Structural.DisableSizeRule,
+				c.Structural.DisablePurecallRule),
+			Run: bind(func(ctx context.Context) error {
+				res.Structural = structural.Analyze(res.Image, res.Funcs, res.VTables, res.Tracelets, c.Structural)
+				countStructural(bus, res.Structural)
+				return nil
+			}),
+		},
+		pipeline.Stage{
+			Name:    "alphabet",
+			Section: pipeline.SecExtraction,
+			Inputs:  []pipeline.Artifact{pipeline.ArtVTables, pipeline.ArtTracelets},
+			Outputs: []pipeline.Artifact{pipeline.ArtAlphabet},
+			Run: bind(func(ctx context.Context) error {
+				res.internAlphabet()
+				bus.Add(obs.CntAlphabet, int64(len(res.Alphabet)))
+				return nil
+			}),
+		},
+		pipeline.Stage{
+			Name:    "train",
+			Section: pipeline.SecModels,
+			Inputs:  []pipeline.Artifact{pipeline.ArtVTables, pipeline.ArtTracelets, pipeline.ArtAlphabet},
+			Outputs: []pipeline.Artifact{pipeline.ArtModels, pipeline.ArtFrozen},
+			Canon:   fmt.Sprintf("depth=%d", c.SLMDepth),
+			Run: bind(func(ctx context.Context) error {
+				if err := res.trainModels(ctx, c); err != nil {
+					return err
+				}
+				bus.Add(obs.CntModels, int64(len(res.Frozen)))
+				return nil
+			}),
+		},
+		pipeline.Stage{
+			Name:    "hierarchy",
+			Section: pipeline.SecHierarchy,
+			Inputs:  []pipeline.Artifact{pipeline.ArtVTables, pipeline.ArtStructural, pipeline.ArtAlphabet, pipeline.ArtFrozen},
+			Outputs: []pipeline.Artifact{pipeline.ArtDist, pipeline.ArtFamilies, pipeline.ArtHierarchy},
+			Canon: fmt.Sprintf("metric=%d rootw=%.17g enumlimit=%d enumeps=%.17g",
+				c.Metric, c.RootWeightFactor, c.EnumLimit, c.EnumEps),
+			Run: bind(func(ctx context.Context) error {
+				return res.buildHierarchy(ctx, c)
+			}),
+		},
+		pipeline.Stage{
+			Name:    "multiparents",
+			Section: pipeline.SecHierarchy,
+			Inputs:  []pipeline.Artifact{pipeline.ArtStructural, pipeline.ArtDist, pipeline.ArtHierarchy},
+			Outputs: []pipeline.Artifact{pipeline.ArtMultiParents},
+			Run: bind(func(ctx context.Context) error {
+				res.chooseMultiParents()
+				bus.Add(obs.CntMultiParents, int64(len(res.MultiParents)))
+				return nil
+			}),
+		},
+	)
+	if err != nil {
+		// The graph is a fixed chain; a dataflow error here is a
+		// programming bug, not an input condition.
+		panic(fmt.Sprintf("core: invalid pipeline graph: %v", err))
+	}
+	return g
+}
+
+// countStructural records the structural stage's domain counters: the
+// family partition, the surviving candidate edges, and how many ordered
+// family-internal pairs the heuristics pruned.
+func countStructural(bus *obs.Bus, sr *structural.Result) {
+	if bus == nil {
+		return
+	}
+	candidates := int64(0)
+	for _, ps := range sr.PossibleParents {
+		candidates += int64(len(ps))
+	}
+	pairs := int64(0)
+	for _, fam := range sr.Families {
+		n := int64(len(fam))
+		pairs += n * (n - 1)
+	}
+	bus.Add(obs.CntFamilies, int64(len(sr.Families)))
+	bus.Add(obs.CntCandidateEdges, candidates)
+	bus.Add(obs.CntEdgesPruned, pairs-candidates)
+}
+
+// snapshotKey derives the cache key from the stage graph: the image
+// content digest plus one fingerprint per pipeline section, each hashing
+// exactly the configuration the section's stages depend on. Workers
+// appears in no fingerprint — the pipeline's results are identical for
+// every worker count.
+func (c Config) snapshotKey(img *image.Image) snapshot.Key {
+	return snapshot.Key{Digest: img.ContentDigest(), FPs: c.graph(nil).Fingerprints()}
+}
+
+// ProbeSnapshot predicts, without running anything, how much of a cached
+// snapshot an AnalyzeContext(img, cfg) call could reuse, by reading only
+// the snapshot file's header. It returns one of the snapshot reuse levels
+// (snapshot.LevelNone .. LevelHierarchy). The probe is advisory — the
+// analysis re-validates the full checksummed snapshot on load — but cheap
+// enough for an admission scheduler to classify images as warm or cold
+// before committing a worker slot.
+func ProbeSnapshot(img *image.Image, cfg Config) int {
+	if cfg.CacheDir == "" || !cfg.UseSLM {
+		return snapshot.LevelNone
+	}
+	cfg = cfg.withDefaults()
+	key := cfg.snapshotKey(img)
+	onDisk, err := snapshot.ReadKey(filepath.Join(cfg.CacheDir, key.FileName()))
+	if err != nil {
+		return snapshot.LevelNone
+	}
+	return min(key.Usable(&snapshot.Snapshot{Key: onDisk}), cfg.Invalidate.maxLevel())
+}
+
+// AnalyzeContext is Analyze with cancellation: when ctx is canceled,
+// every fan-out stops issuing new work, the in-flight units drain, and the
+// analysis returns ctx.Err() promptly without writing a snapshot.
+//
+// It is the pipeline driver: consult the snapshot cache, restore every
+// section the staged-validity chain covers, then execute the stage graph
+// with the restored (and disabled) stages skipped, each remaining stage
+// recorded on the observer bus.
+func AnalyzeContext(ctx context.Context, img *image.Image, cfg Config) (*Result, error) {
+	if img.Meta != nil {
+		// The analysis must never see ground truth; insist on a stripped
+		// image rather than silently ignoring the metadata.
+		return nil, fmt.Errorf("core: refusing to analyze a non-stripped image (call Strip first)")
+	}
+	cfg = cfg.withDefaults()
+	bus := cfg.Obs
+	if bus != nil {
+		// Only an observed run pays for the context plumbing; the nil-bus
+		// path leaves ctx untouched.
+		ctx = obs.WithBus(ctx, bus)
+	}
+
+	// Snapshot lookup: usable level = sections whose fingerprints match,
+	// capped by the requested invalidation granularity. Any read or decode
+	// failure is a cache miss.
+	var snap *snapshot.Snapshot
+	level := snapshot.LevelNone
+	cachePath := ""
+	var key snapshot.Key
+	if cfg.CacheDir != "" && cfg.UseSLM {
+		h := bus.StageStart("snapshot-load", "cache")
+		key = cfg.snapshotKey(img)
+		cachePath = filepath.Join(cfg.CacheDir, key.FileName())
+		if s, err := snapshot.Load(cachePath); err == nil {
+			snap = s
+			level = min(key.Usable(s), cfg.Invalidate.maxLevel())
+		}
+		h.End(nil)
+	}
+	bus.SetSnapshotReuse(level)
+
+	res := &Result{Image: img, SnapshotReuse: level}
+	// Restore every section the chain covers; the corresponding stages
+	// are then skipped as cached. Funcs and Models stay nil on restored
+	// sections (documented Result behavior): disassembly is skipped
+	// entirely and the mutable builders are never persisted.
+	if level >= snapshot.LevelExtraction {
+		res.VTables = snap.VTables
+		res.Tracelets = snap.Tracelets
+		res.Structural = snap.Structural
+		res.Alphabet = snap.Alphabet
+	}
+	if level >= snapshot.LevelModels {
+		res.Frozen = snap.Frozen
+	}
+	if level >= snapshot.LevelHierarchy {
+		res.restoreHierarchy(snap)
+	}
+
+	status := func(st pipeline.Stage) obs.StageStatus {
+		if !cfg.UseSLM && behavioral[st.Name] {
+			return obs.StageOff
+		}
+		if level >= st.Section.Level() {
+			return obs.StageCached
+		}
+		return obs.StageRan
+	}
+	if err := cfg.graph(res).Execute(ctx, bus, status); err != nil {
+		return nil, err
+	}
+
+	if cachePath != "" && level < snapshot.LevelHierarchy {
+		h := bus.StageStart("snapshot-write", "cache")
+		err := res.writeSnapshot(cachePath, key)
+		h.End(err)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

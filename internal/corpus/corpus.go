@@ -30,6 +30,7 @@ import (
 	"runtime/metrics"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/pool"
 )
@@ -80,6 +81,10 @@ type Item[T any] struct {
 	// (clamped at zero). With concurrent images it is an attribution
 	// estimate, not an exact per-image peak.
 	HeapGrowth uint64
+	// Wait is how long the image queued before its work started: admission
+	// slot, memory gate, and pool token for cold images; the bypass-lane
+	// slot for warm ones. Scheduling pressure made visible per image.
+	Wait time.Duration
 }
 
 // Stats summarizes a finished corpus run.
@@ -189,7 +194,7 @@ func Stream[T any](ctx context.Context, n int, opts Options,
 	}
 
 	var wg sync.WaitGroup
-	launch := func(i int, isWarm bool) {
+	launch := func(i int, isWarm bool, wait time.Duration) {
 		inFlight.Add(1)
 		if isWarm {
 			nWarm.Add(1)
@@ -202,7 +207,7 @@ func Stream[T any](ctx context.Context, n int, opts Options,
 			defer wg.Done()
 			v, err := run(ctx, i, sh)
 			after := sampleHeap()
-			it := Item[T]{Index: i, Value: v, Err: err, Warm: isWarm}
+			it := Item[T]{Index: i, Value: v, Err: err, Warm: isWarm, Wait: wait}
 			if after > before {
 				it.HeapGrowth = after - before
 			}
@@ -241,9 +246,10 @@ func Stream[T any](ctx context.Context, n int, opts Options,
 			if !isWarm[i] {
 				continue
 			}
+			t0 := time.Now()
 			select {
 			case warmLane <- struct{}{}:
-				launch(i, true)
+				launch(i, true, time.Since(t0))
 			case <-ctx.Done():
 				abort(i)
 			}
@@ -255,6 +261,7 @@ func Stream[T any](ctx context.Context, n int, opts Options,
 			if isWarm[i] {
 				continue
 			}
+			t0 := time.Now()
 			select {
 			case admit <- struct{}{}:
 			case <-ctx.Done():
@@ -271,7 +278,7 @@ func Stream[T any](ctx context.Context, n int, opts Options,
 				abort(i)
 				continue
 			}
-			launch(i, false)
+			launch(i, false, time.Since(t0))
 		}
 	}()
 

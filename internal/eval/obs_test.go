@@ -1,0 +1,56 @@
+package eval
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestObserverEquivalence pins the observability bus's core contract on
+// the full Table 2 suite: an analysis recorded on a bus (with a trace
+// sink attached, the most invasive configuration) produces a Result
+// deep-equal to the unobserved run — observation may measure, never
+// steer. It also sanity-checks that the record is actually populated:
+// every pipeline stage reported, and the headline counters non-zero.
+func TestObserverEquivalence(t *testing.T) {
+	ctx := context.Background()
+	for _, b := range bench.All() {
+		img, _, err := b.Build()
+		if err != nil {
+			t.Fatalf("bench %s: build: %v", b.Name, err)
+		}
+		cfg := core.DefaultConfig()
+		plain, err := core.AnalyzeContext(ctx, img, cfg)
+		if err != nil {
+			t.Fatalf("bench %s: unobserved analysis: %v", b.Name, err)
+		}
+
+		observed := cfg
+		observed.Obs = obs.NewBus()
+		observed.Obs.Trace = obs.NewTrace()
+		got, err := core.AnalyzeContext(ctx, img, observed)
+		if err != nil {
+			t.Fatalf("bench %s: observed analysis: %v", b.Name, err)
+		}
+		if !reflect.DeepEqual(plain, got) {
+			t.Errorf("bench %s: observed Result diverged from the unobserved one", b.Name)
+		}
+
+		rep := observed.Obs.Report()
+		if len(rep.Stages) != 8 {
+			t.Errorf("bench %s: %d stage records, want 8 (the full pipeline)", b.Name, len(rep.Stages))
+		}
+		for _, st := range rep.Stages {
+			if st.Status != obs.StageRan || st.Failed {
+				t.Errorf("bench %s: stage %s recorded %s/failed=%v, want ran", b.Name, st.Name, st.Status, st.Failed)
+			}
+		}
+		if rep.Counters["vtables"] == 0 || rep.Counters["models"] == 0 {
+			t.Errorf("bench %s: headline counters empty: %v", b.Name, rep.Counters)
+		}
+	}
+}

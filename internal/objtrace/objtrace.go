@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/image"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/vtable"
 )
@@ -191,6 +192,9 @@ func Extract(img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Con
 // ones, and returns ctx.Err() with a nil Result.
 func ExtractContext(ctx context.Context, img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	// Name the fan-out for trace spans; free unless the context carries a
+	// tracing bus.
+	ctx = obs.WithRegion(ctx, obs.BusFrom(ctx), "tracelets")
 	res := &Result{
 		PerType:    map[uint64][]Tracelet{},
 		RawPerType: map[uint64][][]Event{},

@@ -1,0 +1,38 @@
+package obs
+
+import "context"
+
+type busKey struct{}
+type regionKey struct{}
+
+// WithBus attaches the bus to the context so layers that only see a
+// context (the pool's fan-outs) can reach it. A nil bus returns ctx
+// unchanged, keeping the disabled path allocation-free.
+func WithBus(ctx context.Context, b *Bus) context.Context {
+	if b == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, busKey{}, b)
+}
+
+// BusFrom returns the attached bus, or nil.
+func BusFrom(ctx context.Context) *Bus {
+	b, _ := ctx.Value(busKey{}).(*Bus)
+	return b
+}
+
+// WithRegion names the work a context is about to fan out (the current
+// stage), so pool helper spans carry a meaningful label. A no-op unless
+// the bus is tracing.
+func WithRegion(ctx context.Context, b *Bus, name string) context.Context {
+	if b == nil || b.Trace == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, regionKey{}, name)
+}
+
+// RegionFrom returns the context's region name, or "".
+func RegionFrom(ctx context.Context) string {
+	s, _ := ctx.Value(regionKey{}).(string)
+	return s
+}

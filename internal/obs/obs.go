@@ -1,0 +1,345 @@
+// Package obs is the pipeline's observability bus. A *Bus collects, for
+// one analysis, the per-stage execution record (wall time, heap-allocation
+// deltas, whether the stage ran, was restored from a snapshot, or was
+// disabled), a fixed set of domain counters (vtables found, tracelets
+// extracted, candidate edges pruned, distance-memo hits, co-optimal
+// arborescence counts, ...), and — when a Trace sink is attached —
+// chrome-tracing spans covering the stages and every pool fan-out helper,
+// so corpus scheduling is visible in Perfetto.
+//
+// A nil *Bus is a valid, disabled bus: every method no-ops without
+// allocating (guarded by TestNilBusZeroAllocs), so the analysis hot path
+// pays nothing when observability is off. Counter updates are atomic and
+// stage records are mutex-appended, so one bus may be fed by all of an
+// analysis's worker goroutines; one Bus observes one analysis.
+//
+// Allocation deltas are process-wide runtime/metrics samples: with
+// concurrent analyses (the corpus engine) they are an attribution
+// estimate, not an exact per-stage measurement — the same caveat as the
+// corpus scheduler's per-image HeapGrowth.
+package obs
+
+import (
+	"fmt"
+	"runtime/metrics"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter identifies one domain counter.
+type Counter int
+
+// Domain counters recorded by the pipeline stages.
+const (
+	// CntVTables counts the binary types (vtables) discovered.
+	CntVTables Counter = iota
+	// CntTracelets counts the bounded tracelets extracted (TT unions).
+	CntTracelets
+	// CntRawTracelets counts the unsplit per-object event sequences.
+	CntRawTracelets
+	// CntAlphabet counts the interned event alphabet symbols.
+	CntAlphabet
+	// CntFamilies counts the type families partitioned structurally.
+	CntFamilies
+	// CntCandidateEdges counts the possible-parent edges that survived the
+	// structural pruning.
+	CntCandidateEdges
+	// CntEdgesPruned counts the family-internal ordered pairs the
+	// structural analysis ruled out as parent candidates.
+	CntEdgesPruned
+	// CntModels counts the SLMs trained (and frozen).
+	CntModels
+	// CntDistPairs counts the pairwise divergences computed.
+	CntDistPairs
+	// CntDistMemoHits counts distance-sweep word-distribution memo hits.
+	CntDistMemoHits
+	// CntDistMemoMisses counts word-distribution derivations actually run.
+	CntDistMemoMisses
+	// CntCoOptimal counts the co-optimal arborescences enumerated across
+	// all families (before majority voting).
+	CntCoOptimal
+	// CntArbsKept counts the arborescences surviving majority voting.
+	CntArbsKept
+	// CntMultiParents counts the types assigned multiple parents (§5.3).
+	CntMultiParents
+	// CntPoolHelpers counts the fan-out helper goroutines the pool spawned
+	// for this analysis (a measure of the parallelism actually won).
+	CntPoolHelpers
+
+	numCounters
+)
+
+// counterNames indexes the JSON/report spelling of each counter.
+var counterNames = [numCounters]string{
+	"vtables", "tracelets", "raw_tracelets", "alphabet", "families",
+	"candidate_edges", "edges_pruned", "models", "dist_pairs",
+	"dist_memo_hits", "dist_memo_misses", "co_optimal", "arbs_kept",
+	"multi_parents", "pool_helpers",
+}
+
+// String returns the counter's report name.
+func (c Counter) String() string {
+	if c >= 0 && int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("counter%d", int(c))
+}
+
+// StageStatus records how a stage was satisfied.
+type StageStatus uint8
+
+// Stage statuses.
+const (
+	// StageRan: the stage executed.
+	StageRan StageStatus = iota
+	// StageCached: the stage's outputs were restored from a snapshot.
+	StageCached
+	// StageOff: the stage was disabled by configuration (e.g. the
+	// behavioral stages under StructuralOnly).
+	StageOff
+)
+
+// String renders the status for the -stats table.
+func (s StageStatus) String() string {
+	switch s {
+	case StageCached:
+		return "cached"
+	case StageOff:
+		return "off"
+	default:
+		return "ran"
+	}
+}
+
+// StageStats is one stage's execution record.
+type StageStats struct {
+	// Name is the stage name (pipeline.Stage.Name).
+	Name string `json:"name"`
+	// Section is the snapshot-section tag the stage persists under.
+	Section string `json:"section"`
+	// Status reports ran / cached / off.
+	Status StageStatus `json:"status"`
+	// Wall is the stage's wall-clock time (zero unless it ran).
+	Wall time.Duration `json:"wall_ns"`
+	// AllocBytes and Allocs are the process-wide heap-allocation deltas
+	// observed across the stage (attribution estimates under concurrency).
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Allocs     uint64 `json:"allocs"`
+	// Failed reports the stage returned an error.
+	Failed bool `json:"failed,omitempty"`
+}
+
+// Report is the machine-readable outcome of one observed analysis.
+type Report struct {
+	// Total is the wall-clock span from bus creation to the Report call.
+	Total time.Duration `json:"total_ns"`
+	// SnapshotReuse is the snapshot reuse level of the run
+	// (snapshot.LevelNone .. LevelHierarchy).
+	SnapshotReuse int `json:"snapshot_reuse"`
+	// Stages lists the per-stage records in execution order.
+	Stages []StageStats `json:"stages"`
+	// Counters holds the non-zero domain counters by name.
+	Counters map[string]int64 `json:"counters"`
+}
+
+// Bus collects one analysis's observability record. The zero value is
+// ready to use; NewBus stamps the epoch for Total. A nil *Bus is valid
+// and free.
+type Bus struct {
+	// Trace, when non-nil, receives chrome-tracing spans for the stages
+	// and pool fan-out helpers. Many buses may share one Trace (the corpus
+	// case); each should then use a distinct Lane.
+	Trace *Trace
+	// Lane is the trace lane ("thread") stage spans are drawn on.
+	Lane int
+
+	epoch    time.Time
+	reuse    atomic.Int64
+	counters [numCounters]atomic.Int64
+
+	mu     sync.Mutex
+	stages []StageStats
+}
+
+// NewBus returns an empty enabled bus.
+func NewBus() *Bus {
+	return &Bus{epoch: time.Now()}
+}
+
+// Add increments a domain counter. Safe from any goroutine; nil-safe.
+func (b *Bus) Add(c Counter, n int64) {
+	if b == nil || c < 0 || c >= numCounters {
+		return
+	}
+	b.counters[c].Add(n)
+}
+
+// SetSnapshotReuse records the run's snapshot reuse level.
+func (b *Bus) SetSnapshotReuse(level int) {
+	if b == nil {
+		return
+	}
+	b.reuse.Store(int64(level))
+}
+
+// allocSample reads the cumulative heap allocation gauges.
+func allocSample() (bytes, objects uint64) {
+	s := [2]metrics.Sample{
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/heap/allocs:objects"},
+	}
+	metrics.Read(s[:])
+	return s[0].Value.Uint64(), s[1].Value.Uint64()
+}
+
+// StageHandle is an in-flight stage measurement returned by StageStart.
+// The zero value (from a nil bus) is valid and End on it is free.
+type StageHandle struct {
+	b             *Bus
+	name, section string
+	start         time.Time
+	bytes0, objs0 uint64
+	span          SpanHandle
+}
+
+// StageStart opens a stage record: it samples the clock and the heap
+// gauges and, with a Trace attached, opens a span on the bus's lane.
+func (b *Bus) StageStart(name, section string) StageHandle {
+	if b == nil {
+		return StageHandle{}
+	}
+	h := StageHandle{b: b, name: name, section: section}
+	h.bytes0, h.objs0 = allocSample()
+	h.span = b.Span(name)
+	h.start = time.Now()
+	return h
+}
+
+// End closes the stage record opened by StageStart.
+func (h StageHandle) End(err error) {
+	if h.b == nil {
+		return
+	}
+	wall := time.Since(h.start)
+	h.span.End()
+	bytes1, objs1 := allocSample()
+	st := StageStats{
+		Name:    h.name,
+		Section: h.section,
+		Status:  StageRan,
+		Wall:    wall,
+		Failed:  err != nil,
+	}
+	if bytes1 > h.bytes0 {
+		st.AllocBytes = bytes1 - h.bytes0
+	}
+	if objs1 > h.objs0 {
+		st.Allocs = objs1 - h.objs0
+	}
+	h.b.mu.Lock()
+	h.b.stages = append(h.b.stages, st)
+	h.b.mu.Unlock()
+}
+
+// StageSkipped records a stage that did not execute, attributing why:
+// StageCached (restored from a snapshot) or StageOff (disabled).
+func (b *Bus) StageSkipped(name, section string, status StageStatus) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.stages = append(b.stages, StageStats{Name: name, Section: section, Status: status})
+	b.mu.Unlock()
+}
+
+// Span opens a trace span on the bus's lane; a no-op handle without a
+// Trace. Spans on one lane must strictly nest (stages are sequential).
+func (b *Bus) Span(name string) SpanHandle {
+	if b == nil || b.Trace == nil {
+		return SpanHandle{}
+	}
+	return b.Trace.begin(b.Lane, name, "stage")
+}
+
+// HelperSpan opens a span for a transient fan-out helper on its own
+// acquired lane; End releases the lane. A no-op without a Trace.
+func (b *Bus) HelperSpan(name string) HelperSpan {
+	if b == nil || b.Trace == nil {
+		return HelperSpan{}
+	}
+	lane := b.Trace.AcquireLane()
+	return HelperSpan{span: b.Trace.begin(lane, name, "fanout"), lane: lane}
+}
+
+// Report snapshots the collected record. A nil bus reports nil.
+func (b *Bus) Report() *Report {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	stages := append([]StageStats(nil), b.stages...)
+	b.mu.Unlock()
+	rep := &Report{
+		Total:         time.Since(b.epoch),
+		SnapshotReuse: int(b.reuse.Load()),
+		Stages:        stages,
+		Counters:      map[string]int64{},
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if v := b.counters[c].Load(); v != 0 {
+			rep.Counters[c.String()] = v
+		}
+	}
+	return rep
+}
+
+// Table renders the report as the -stats text table: one row per stage
+// with wall time, allocation deltas, and cache attribution, followed by
+// the non-zero domain counters.
+func (r *Report) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-10s %12s %14s %10s\n", "stage", "status", "wall", "alloc", "allocs")
+	for _, st := range r.Stages {
+		status := st.Status.String()
+		if st.Failed {
+			status = "FAILED"
+		}
+		if st.Status != StageRan {
+			fmt.Fprintf(&sb, "%-16s %-10s %12s %14s %10s\n", st.Name, status, "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&sb, "%-16s %-10s %12s %14s %10d\n",
+			st.Name, status, st.Wall.Round(time.Microsecond),
+			fmtBytes(st.AllocBytes), st.Allocs)
+	}
+	fmt.Fprintf(&sb, "total %s, snapshot reuse level %d\n",
+		r.Total.Round(time.Microsecond), r.SnapshotReuse)
+	if len(r.Counters) > 0 {
+		names := make([]string, 0, len(r.Counters))
+		for n := range r.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		sb.WriteString("counters:")
+		for _, n := range names {
+			fmt.Fprintf(&sb, " %s=%d", n, r.Counters[n])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,165 @@
+// Trace is the chrome-tracing span sink shared by every bus of a run:
+// spans land in one timeline and are written as a Trace Event Format JSON
+// array (one complete "X" event per line) that loads directly in Perfetto
+// or chrome://tracing. Lanes are the trace's "threads": sequential spans
+// (an analysis's stages) share one lane and nest; concurrent work (fan-out
+// helpers, corpus images) draws lanes from a free-list so the trace stays
+// as narrow as the real concurrency.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Trace accumulates spans. The zero value is unusable; call NewTrace.
+type Trace struct {
+	epoch time.Time
+
+	mu        sync.Mutex
+	events    []traceEvent
+	freeLanes []int
+	nextLane  int
+}
+
+// traceEvent is one complete span; End < 0 marks it still open.
+type traceEvent struct {
+	name, cat  string
+	lane       int
+	start, end time.Duration
+}
+
+// SpanHandle identifies an open span. The zero value is a no-op.
+type SpanHandle struct {
+	tr *Trace
+	id int
+}
+
+// HelperSpan is a span on a temporarily-acquired lane (pool fan-out
+// helpers). The zero value is a no-op.
+type HelperSpan struct {
+	span SpanHandle
+	lane int
+}
+
+// NewTrace returns an empty trace whose epoch is now.
+func NewTrace() *Trace {
+	return &Trace{epoch: time.Now()}
+}
+
+// begin opens a span on the lane.
+func (t *Trace) begin(lane int, name, cat string) SpanHandle {
+	start := time.Since(t.epoch)
+	t.mu.Lock()
+	id := len(t.events)
+	t.events = append(t.events, traceEvent{name: name, cat: cat, lane: lane, start: start, end: -1})
+	t.mu.Unlock()
+	return SpanHandle{tr: t, id: id}
+}
+
+// End closes the span; safe on the zero handle.
+func (h SpanHandle) End() {
+	if h.tr == nil {
+		return
+	}
+	end := time.Since(h.tr.epoch)
+	h.tr.mu.Lock()
+	h.tr.events[h.id].end = end
+	h.tr.mu.Unlock()
+}
+
+// End closes the helper span and returns its lane to the free-list.
+func (h HelperSpan) End() {
+	if h.span.tr == nil {
+		return
+	}
+	h.span.End()
+	h.span.tr.ReleaseLane(h.lane)
+}
+
+// AcquireLane returns a lane not currently in use, reusing released lanes
+// so the trace's thread count tracks peak concurrency, not total spans.
+// Lane 0 is reserved for the caller's primary timeline.
+func (t *Trace) AcquireLane() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n := len(t.freeLanes); n > 0 {
+		l := t.freeLanes[n-1]
+		t.freeLanes = t.freeLanes[:n-1]
+		return l
+	}
+	t.nextLane++
+	return t.nextLane
+}
+
+// ReleaseLane makes the lane reusable. Lane 0 is never pooled.
+func (t *Trace) ReleaseLane(l int) {
+	if l == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.freeLanes = append(t.freeLanes, l)
+	t.mu.Unlock()
+}
+
+// WriteTo emits the trace as a Trace Event Format JSON array, one event
+// per line. Spans still open are closed at the current time so a trace
+// written mid-run is still valid. Implements io.WriterTo.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	now := time.Since(t.epoch)
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	t.mu.Unlock()
+
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	bw.WriteString("[\n")
+	for i, e := range events {
+		end := e.end
+		if end < 0 {
+			end = now
+		}
+		sep := ","
+		if i == len(events)-1 {
+			sep = ""
+		}
+		fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"X","pid":1,"tid":%d,"ts":%.3f,"dur":%.3f}%s`+"\n",
+			e.name, e.cat, e.lane,
+			float64(e.start.Nanoseconds())/1e3, float64((end-e.start).Nanoseconds())/1e3, sep)
+	}
+	bw.WriteString("]\n")
+	err := bw.Flush()
+	return cw.n, err
+}
+
+// WriteFile writes the trace JSON to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
+}
+
+// countingWriter tracks bytes written for the io.WriterTo contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -28,6 +28,8 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Shared is a corpus-wide bounded worker pool: a fixed budget of tokens,
@@ -135,20 +137,36 @@ func ForEach(ctx context.Context, sh *Shared, workers, n int, fn func(i int)) er
 		run()
 		return ctx.Err()
 	}
+	// Observability: an observed context carries its bus; each spawned
+	// helper is counted and, when tracing, drawn as a span on its own lane
+	// named after the fan-out region. BusFrom on an unobserved context is a
+	// value lookup with no allocation, keeping the disabled path free.
+	bus := obs.BusFrom(ctx)
+	region := ""
+	if bus != nil {
+		if region = obs.RegionFrom(ctx); region == "" {
+			region = "fanout"
+		}
+	}
 	var wg sync.WaitGroup
+	spawned := 0
 	for w := 0; w < helpers; w++ {
 		if sh != nil && !sh.TryAcquire() {
 			break // pool exhausted: whatever helpers we won suffice
 		}
+		spawned++
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			if sh != nil {
 				defer sh.Release()
 			}
+			hs := bus.HelperSpan(region)
 			run()
+			hs.End()
 		}()
 	}
+	bus.Add(obs.CntPoolHelpers, int64(spawned))
 	run()
 	wg.Wait()
 	return ctx.Err()

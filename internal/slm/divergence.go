@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Metric selects the pairwise type-distance criterion (§4.2.1 and the
@@ -185,6 +187,7 @@ type DistanceCalculator struct {
 	metric  Metric
 	words   [][]int
 	scratch *ScratchPool
+	obs     *obs.Bus
 
 	mu    sync.Mutex
 	cache map[WordScorer][]float64
@@ -214,6 +217,11 @@ func (c *DistanceCalculator) SetScratchPool(sp *ScratchPool) {
 	c.scratch = sp
 }
 
+// SetObserver attaches an observer bus: every distribution lookup is then
+// attributed as a memo hit (cached vector reused) or miss (derivation
+// actually ran). A nil bus (the default) costs nothing.
+func (c *DistanceCalculator) SetObserver(b *obs.Bus) { c.obs = b }
+
 // Words returns the word set the calculator measures over.
 func (c *DistanceCalculator) Words() [][]int { return c.words }
 
@@ -230,8 +238,10 @@ func (c *DistanceCalculator) distribution(m WordScorer) []float64 {
 	d, ok := c.cache[m]
 	c.mu.Unlock()
 	if ok {
+		c.obs.Add(obs.CntDistMemoHits, 1)
 		return d
 	}
+	c.obs.Add(obs.CntDistMemoMisses, 1)
 	s := c.scratch.Get()
 	d = wordDist(m, c.words, s)
 	c.scratch.Put(s)

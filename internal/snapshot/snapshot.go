@@ -6,16 +6,21 @@
 // chosen parents) — serialized into one versioned binary file keyed by the
 // image's content digest plus per-stage configuration fingerprints.
 //
-// The key has four parts, validated in order on load:
+// The key is the image content digest plus one configuration fingerprint
+// per pipeline section, in section order (internal/pipeline is the single
+// source of truth for the sections, their order, and how each fingerprint
+// is derived from the stage graph's canonical configuration renderings):
 //
 //	image digest   SHA-256 of the image's analysis-relevant content
 //	               (image.ContentDigest)
-//	extract FP     fingerprint of the front-end config (tracelet bounds +
-//	               structural heuristics) guarding the extraction section
-//	model FP       fingerprint of the SLM config (depth) guarding the
+//	extract FP     pipeline.SecExtraction — front-end config (tracelet
+//	               bounds + structural heuristics) guarding the
+//	               extraction section
+//	model FP       pipeline.SecModels — SLM config (depth) guarding the
 //	               frozen-models section
-//	hier FP        fingerprint of the back-end config (metric, root weight,
-//	               enumeration bounds) guarding the hierarchy section
+//	hier FP        pipeline.SecHierarchy — back-end config (metric, root
+//	               weight, enumeration bounds) guarding the hierarchy
+//	               section
 //
 // The sections form a strict dependency chain (models are trained on the
 // extraction, the hierarchy is solved over the models), so a snapshot is
@@ -47,6 +52,7 @@ import (
 	"sort"
 
 	"repro/internal/objtrace"
+	"repro/internal/pipeline"
 	"repro/internal/slm"
 	"repro/internal/structural"
 	"repro/internal/vtable"
@@ -60,28 +66,27 @@ const (
 	Version = 2
 )
 
-// Section reuse levels, in dependency order.
+// Section reuse levels, in dependency order: level k means the first k
+// pipeline sections are reusable. Derived from the stage graph so the
+// snapshot chain can never drift from the pipeline's section order.
 const (
 	// LevelNone: nothing reusable (cold run).
 	LevelNone = 0
 	// LevelExtraction: alphabet, vtables, tracelets, structural results.
-	LevelExtraction = 1
+	LevelExtraction = int(pipeline.SecExtraction) + 1
 	// LevelModels: LevelExtraction plus the frozen SLM tries.
-	LevelModels = 2
+	LevelModels = int(pipeline.SecModels) + 1
 	// LevelHierarchy: everything — distances, arborescences, parents.
-	LevelHierarchy = 3
+	LevelHierarchy = int(pipeline.SecHierarchy) + 1
 )
 
 // Key identifies the analysis a snapshot caches.
 type Key struct {
 	// Digest is the image content digest (image.ContentDigest).
 	Digest [32]byte
-	// ExtractFP fingerprints the front-end configuration.
-	ExtractFP [32]byte
-	// ModelFP fingerprints the SLM configuration.
-	ModelFP [32]byte
-	// HierFP fingerprints the hierarchy-stage configuration.
-	HierFP [32]byte
+	// FPs is the per-section configuration fingerprint chain, indexed by
+	// pipeline.Section (pipeline.Graph.Fingerprints).
+	FPs [pipeline.NumSections][32]byte
 }
 
 // FileName returns the snapshot's file name within a cache directory. It
@@ -94,20 +99,19 @@ func (k Key) FileName() string {
 
 // Usable returns the highest reuse level the snapshot supports for this
 // key: sections are valid only up to the first fingerprint mismatch, and
-// nothing is valid across an image-digest mismatch.
+// nothing is valid across an image-digest mismatch. The walk is generic
+// over the pipeline's section chain — a mismatch at section s caps reuse
+// at the levels before it.
 func (k Key) Usable(s *Snapshot) int {
-	switch {
-	case s == nil || s.Key.Digest != k.Digest:
+	if s == nil || s.Key.Digest != k.Digest {
 		return LevelNone
-	case s.Key.ExtractFP != k.ExtractFP:
-		return LevelNone
-	case s.Key.ModelFP != k.ModelFP:
-		return LevelExtraction
-	case s.Key.HierFP != k.HierFP:
-		return LevelModels
-	default:
-		return LevelHierarchy
 	}
+	for sec := pipeline.Section(0); sec < pipeline.NumSections; sec++ {
+		if s.Key.FPs[sec] != k.FPs[sec] {
+			return int(sec)
+		}
+	}
+	return LevelHierarchy
 }
 
 // Family is one cached per-family outcome (mirrors core.FamilyResult).
@@ -169,7 +173,7 @@ func ReadKey(path string) (Key, error) {
 		return Key{}, err
 	}
 	defer f.Close()
-	var hdr [4 + 4 + 4*32]byte
+	var hdr [4 + 4 + (1+int(pipeline.NumSections))*32]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
 		return Key{}, fmt.Errorf("snapshot: short header: %w", err)
 	}
@@ -181,9 +185,9 @@ func ReadKey(path string) (Key, error) {
 	}
 	var k Key
 	copy(k.Digest[:], hdr[8:40])
-	copy(k.ExtractFP[:], hdr[40:72])
-	copy(k.ModelFP[:], hdr[72:104])
-	copy(k.HierFP[:], hdr[104:136])
+	for sec := range k.FPs {
+		copy(k.FPs[sec][:], hdr[40+32*sec:])
+	}
 	return k, nil
 }
 
@@ -226,9 +230,9 @@ func (s *Snapshot) Encode() ([]byte, error) {
 	w.raw(magic)
 	w.u32(Version)
 	w.raw(string(s.Key.Digest[:]))
-	w.raw(string(s.Key.ExtractFP[:]))
-	w.raw(string(s.Key.ModelFP[:]))
-	w.raw(string(s.Key.HierFP[:]))
+	for sec := range s.Key.FPs {
+		w.raw(string(s.Key.FPs[sec][:]))
+	}
 
 	// Extraction section. Tracelet events are stored as indices into the
 	// interned alphabet (every event appearing in a tracelet is interned
@@ -364,9 +368,9 @@ func Decode(data []byte) (*Snapshot, error) {
 	}
 	s := &Snapshot{}
 	copy(s.Key.Digest[:], r.bytes(32))
-	copy(s.Key.ExtractFP[:], r.bytes(32))
-	copy(s.Key.ModelFP[:], r.bytes(32))
-	copy(s.Key.HierFP[:], r.bytes(32))
+	for sec := range s.Key.FPs {
+		copy(s.Key.FPs[sec][:], r.bytes(32))
+	}
 
 	// Extraction section.
 	n := r.count(9) // kind u8 + n u64

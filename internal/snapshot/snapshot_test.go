@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/objtrace"
+	"repro/internal/pipeline"
 	"repro/internal/slm"
 	"repro/internal/structural"
 	"repro/internal/vtable"
@@ -81,9 +82,9 @@ func sampleSnapshot() *Snapshot {
 	}
 	for i := range s.Key.Digest {
 		s.Key.Digest[i] = byte(i)
-		s.Key.ExtractFP[i] = byte(i + 1)
-		s.Key.ModelFP[i] = byte(i + 2)
-		s.Key.HierFP[i] = byte(i + 3)
+		for sec := range s.Key.FPs {
+			s.Key.FPs[sec][i] = byte(i + 1 + sec)
+		}
 	}
 	return s
 }
@@ -151,16 +152,22 @@ func TestKeyUsable(t *testing.T) {
 	if got := k.Usable(nil); got != LevelNone {
 		t.Errorf("nil snapshot: level %d, want %d", got, LevelNone)
 	}
-	flip := func(f [32]byte) [32]byte { f[0] ^= 1; return f }
+	flipDigest := k
+	flipDigest.Digest[0] ^= 1
+	flipFP := func(sec pipeline.Section) Key {
+		fk := k
+		fk.FPs[sec][0] ^= 1
+		return fk
+	}
 	cases := []struct {
 		name string
 		k    Key
 		want int
 	}{
-		{"digest", Key{Digest: flip(k.Digest), ExtractFP: k.ExtractFP, ModelFP: k.ModelFP, HierFP: k.HierFP}, LevelNone},
-		{"extract", Key{Digest: k.Digest, ExtractFP: flip(k.ExtractFP), ModelFP: k.ModelFP, HierFP: k.HierFP}, LevelNone},
-		{"model", Key{Digest: k.Digest, ExtractFP: k.ExtractFP, ModelFP: flip(k.ModelFP), HierFP: k.HierFP}, LevelExtraction},
-		{"hier", Key{Digest: k.Digest, ExtractFP: k.ExtractFP, ModelFP: k.ModelFP, HierFP: flip(k.HierFP)}, LevelModels},
+		{"digest", flipDigest, LevelNone},
+		{"extract", flipFP(pipeline.SecExtraction), LevelNone},
+		{"model", flipFP(pipeline.SecModels), LevelExtraction},
+		{"hier", flipFP(pipeline.SecHierarchy), LevelModels},
 	}
 	for _, c := range cases {
 		if got := c.k.Usable(s); got != c.want {

@@ -2,10 +2,13 @@ package rock
 
 import (
 	"context"
+	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/pool"
 	"repro/internal/slm"
 	"repro/internal/snapshot"
@@ -29,6 +32,15 @@ type CorpusOptions struct {
 	// (completion order, serialized calls) — for progress display. The
 	// final CorpusReport is always in input order regardless.
 	OnResult func(CorpusItem)
+	// Observe attaches a fresh Observer to every image's analysis, so each
+	// CorpusItem (and its Report) carries per-stage Stats. Off by default —
+	// the unobserved batch pays nothing.
+	Observe bool
+	// Trace, when non-nil, additionally draws every image's stages and
+	// fan-out helpers as chrome-tracing spans on the shared sink (each
+	// image on its own lane, so corpus scheduling is visible in Perfetto).
+	// Implies Observe for the images' buses.
+	Trace *Trace
 }
 
 // CorpusItem is one image's outcome within a batch.
@@ -43,6 +55,13 @@ type CorpusItem struct {
 	// Warm reports the image restored fully from its snapshot and bypassed
 	// the analysis queue.
 	Warm bool
+	// Wait is how long the image queued (admission, memory gate, pool
+	// token) before its analysis started.
+	Wait time.Duration
+	// Stats is the image's per-stage observability record; nil unless
+	// CorpusOptions.Observe (or Trace) was set. Same pointer as
+	// Report.Stats.
+	Stats *Stats
 }
 
 // CorpusReport aggregates a finished batch.
@@ -92,15 +111,31 @@ func AnalyzeCorpus(ctx context.Context, images []*image.Image, opts CorpusOption
 			c := cfg
 			c.Pool = sh
 			c.Scratch = scratch
+			if opts.Observe || opts.Trace != nil {
+				bus := obs.NewBus()
+				if opts.Trace != nil {
+					// Each image's stage spans draw on a lane of its own for
+					// the image's duration; a released lane is reused, so the
+					// trace's thread count tracks in-flight images, not n.
+					bus.Trace = opts.Trace
+					bus.Lane = opts.Trace.AcquireLane()
+					defer opts.Trace.ReleaseLane(bus.Lane)
+					sp := bus.Span(fmt.Sprintf("image %d", i))
+					defer sp.End()
+				}
+				c.Obs = bus
+			}
 			res, err := core.AnalyzeContext(ctx, stripped[i], c)
 			if err != nil {
 				return nil, err
 			}
-			return buildReport(res, metas[i]), nil
+			rep := buildReport(res, metas[i])
+			rep.Stats = c.Obs.Report() // nil-safe: unobserved batches stay nil
+			return rep, nil
 		})
 	for it := range ch {
 		if opts.OnResult != nil {
-			opts.OnResult(CorpusItem{Index: it.Index, Report: it.Value, Err: it.Err, Warm: it.Warm})
+			opts.OnResult(corpusItem(it))
 		}
 	}
 	items, stats, err := wait()
@@ -114,7 +149,16 @@ func AnalyzeCorpus(ctx context.Context, images []*image.Image, opts CorpusOption
 		Cold:     stats.Cold,
 	}
 	for i, it := range items {
-		rep.Items[i] = CorpusItem{Index: i, Report: it.Value, Err: it.Err, Warm: it.Warm}
+		rep.Items[i] = corpusItem(it)
 	}
 	return rep, nil
+}
+
+// corpusItem translates a scheduler outcome into the public form.
+func corpusItem(it corpus.Item[*Report]) CorpusItem {
+	ci := CorpusItem{Index: it.Index, Report: it.Value, Err: it.Err, Warm: it.Warm, Wait: it.Wait}
+	if it.Value != nil {
+		ci.Stats = it.Value.Stats
+	}
+	return ci
 }

@@ -27,8 +27,32 @@ import (
 	"repro/internal/core"
 	"repro/internal/image"
 	"repro/internal/objtrace"
+	"repro/internal/obs"
 	"repro/internal/slm"
 )
+
+// Observer is a per-analysis observability bus: it collects per-stage
+// wall times, allocation estimates, cache-hit attribution, and domain
+// counters (vtables found, tracelets extracted, edges pruned, ...), and —
+// with a Trace attached — chrome-tracing spans. One Observer observes one
+// analysis; create one with NewObserver, pass it in Options.Observer, and
+// read Report.Stats (or call its Report method) afterwards. Results are
+// never affected by observation.
+type Observer = obs.Bus
+
+// Stats is the machine-readable per-stage record an Observer collects.
+type Stats = obs.Report
+
+// Trace is a chrome-tracing (Perfetto-loadable) span sink. One Trace may
+// be shared by many Observers — the corpus engine draws every image on
+// its own lane — and is serialized with WriteTo/WriteFile.
+type Trace = obs.Trace
+
+// NewObserver returns an empty enabled Observer.
+func NewObserver() *Observer { return obs.NewBus() }
+
+// NewTrace returns an empty Trace whose epoch is now.
+func NewTrace() *Trace { return obs.NewTrace() }
 
 // Options configures an analysis. The zero value selects the paper's
 // defaults (SLM depth 2, tracelet window 7, DKL metric, behavioral analysis
@@ -62,6 +86,11 @@ type Options struct {
 	// arborescences, "models" also retrains the SLMs, and "all" forces a
 	// fully cold run (rewriting the cache).
 	Invalidate string
+	// Observer, when non-nil, records the analysis on an observability bus;
+	// the collected Stats land in Report.Stats. Attach a Trace to the
+	// Observer to additionally capture chrome-tracing spans. Observation
+	// never changes results, and a nil Observer costs nothing.
+	Observer *Observer
 }
 
 // Type describes one discovered binary type.
@@ -101,6 +130,10 @@ type Report struct {
 	// GroundTruthEdges holds the metadata hierarchy when the input image
 	// carried one (for the caller's convenience; never used by analysis).
 	GroundTruthEdges []Edge
+	// Stats is the observability record of this analysis — per-stage wall
+	// times, cache attribution, and domain counters. Nil unless
+	// Options.Observer was set.
+	Stats *Stats
 
 	names map[uint64]string
 }
@@ -142,6 +175,7 @@ func config(opts Options) (core.Config, error) {
 		return cfg, err
 	}
 	cfg.Invalidate = inv
+	cfg.Obs = opts.Observer
 	return cfg, nil
 }
 
@@ -161,7 +195,9 @@ func AnalyzeImage(img *image.Image, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return buildReport(res, meta), nil
+	rep := buildReport(res, meta)
+	rep.Stats = opts.Observer.Report() // nil-safe: nil Observer, nil Stats
+	return rep, nil
 }
 
 // buildReport decorates a pipeline result into the public Report.
