@@ -25,11 +25,18 @@
 //	                        result is asserted deep-equal to the sequential
 //	                        loop (-json FILE writes the result, e.g.
 //	                        BENCH_corpus.json)
+//	rockbench -synth        adversarial accuracy grid: seeded generator
+//	                        shapes x compiler hard-case modes, scored per
+//	                        edge (precision/recall/F1 + tier); -json FILE
+//	                        writes the report (e.g. ACC_synth.json) and
+//	                        -floors FILE gates it against checked-in
+//	                        accuracy floors (non-zero exit on regression)
 //	rockbench -emit DIR     write every benchmark image to DIR (for cmd/rock)
 //	rockbench -all          everything above except -emit
 //
 // Each mode lives in its own file (paper.go, pipeline.go, slm.go,
-// snapshot.go, corpus.go) over the shared harness in harness.go.
+// snapshot.go, corpus.go, synth.go) over the shared harness in
+// harness.go.
 //
 // The global -workers flag bounds the analysis worker pool in every mode
 // (0 = all CPUs, 1 = serial), and -cache/-invalidate thread the snapshot
@@ -75,7 +82,9 @@ func main() {
 	slmBench := flag.Bool("slm", false, "measure the builder vs frozen SLM query kernel")
 	snapBench := flag.Bool("snapshot", false, "measure cold vs warm analysis through the snapshot cache")
 	corpusBench := flag.Bool("corpus", false, "measure the corpus batch engine against a sequential per-image loop")
-	jsonOut := flag.String("json", "", "write the -pipeline, -slm, -snapshot, or -corpus result to this JSON file")
+	synthGrid := flag.Bool("synth", false, "run the adversarial accuracy grid and score reconstruction per edge")
+	floors := flag.String("floors", "", "with -synth: compare the report against this accuracy-floors JSON file and exit non-zero on regression")
+	jsonOut := flag.String("json", "", "write the -pipeline, -slm, -snapshot, -corpus, or -synth result to this JSON file")
 	emit := flag.String("emit", "", "write benchmark images to this directory")
 	all := flag.Bool("all", false, "run every experiment")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU pprof profile to this file")
@@ -86,16 +95,19 @@ func main() {
 		cliutil.Usage("rockbench", err.Error())
 	}
 	if *all {
-		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench, *snapBench, *corpusBench = true, true, true, true, true, true, true, true, true, true
+		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid = true, true, true, true, true, true, true, true, true, true, true
 	}
 	jsonModes := 0
-	for _, on := range []bool{*pipeline, *slmBench, *snapBench, *corpusBench} {
+	for _, on := range []bool{*pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid} {
 		if on {
 			jsonModes++
 		}
 	}
 	if *jsonOut != "" && jsonModes > 1 && !*all {
-		cliutil.Usage("rockbench", "-json names a single output file; run -pipeline, -slm, -snapshot, and -corpus separately")
+		cliutil.Usage("rockbench", "-json names a single output file; run -pipeline, -slm, -snapshot, -corpus, and -synth separately")
+	}
+	if *floors != "" && !*synthGrid {
+		cliutil.Usage("rockbench", "-floors requires -synth")
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -173,6 +185,14 @@ func main() {
 			jp = "" // -all: the single -json path belongs to an earlier mode
 		}
 		runCorpusBench(jp)
+	}
+	if *synthGrid {
+		ran = true
+		jp := *jsonOut
+		if *pipeline || *slmBench || *snapBench || *corpusBench {
+			jp = "" // -all: the single -json path belongs to an earlier mode
+		}
+		runSynth(jp, *floors)
 	}
 	if *emit != "" {
 		ran = true

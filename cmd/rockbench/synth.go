@@ -1,0 +1,38 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"repro/internal/eval"
+)
+
+// runSynth sweeps the adversarial accuracy grid (internal/bench.SynthGrid:
+// generator shapes x compiler hard-case modes), scores every
+// reconstruction per edge, prints the table, and optionally writes the
+// ACC_synth.json report. When floorsPath is non-empty the report is
+// compared against the checked-in accuracy floors and any regression
+// exits non-zero — the CI accuracy gate.
+func runSynth(jsonPath, floorsPath string) {
+	fmt.Println("== Adversarial synth grid: per-edge reconstruction accuracy ==")
+	rep, err := eval.RunSynthGrid(context.Background(), benchConfig())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(eval.AccTable(rep))
+	fmt.Printf("  %d configurations\n", len(rep.Configs))
+	writeJSON(jsonPath, rep)
+	if floorsPath == "" {
+		return
+	}
+	floors, err := eval.LoadFloors(floorsPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := eval.CheckFloors(rep, floors); err != nil {
+		fmt.Fprintf(os.Stderr, "rockbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("  accuracy floors OK (%s)\n", floorsPath)
+}

@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/cpp"
 	"repro/internal/image"
@@ -77,7 +78,7 @@ func Compile(p *cpp.Program, opts Options) (*image.Image, error) {
 		return nil, err
 	}
 
-	if opts.FoldIdenticalBodies {
+	if opts.FoldIdenticalBodies || opts.ComdatFoldMethods {
 		cg.fold()
 	}
 	return cg.link()
@@ -92,6 +93,8 @@ type codegen struct {
 	// folded maps a folded-away function key to the canonical key that
 	// replaced it (identical-code folding).
 	folded map[string]string
+	// mono memoizes DevirtualizeMono target lookups per (class, method).
+	mono map[string]string
 }
 
 // resolveKey follows the fold map to the canonical function key.
@@ -341,6 +344,20 @@ func (e *fnEmitter) stmt(s cpp.Stmt) error {
 		if err != nil {
 			return err
 		}
+		if cg.opts.DevirtualizeMono {
+			if impl := cg.monoImpl(cls, st.Method); impl != "" {
+				// Monomorphic site: direct call, no vtable loads.
+				if err := e.args(st.Args); err != nil {
+					return err
+				}
+				e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.RegThis, Rs: r}, br: -1})
+				if err := cg.need(impl); err != nil {
+					return err
+				}
+				e.emit(symInst{inst: ir.Inst{Op: ir.OpCall}, call: impl, br: -1})
+				return nil
+			}
+		}
 		vptrOff, slotIdx, err := methodSlot(cg.infos, cls, st.Method)
 		if err != nil {
 			return err
@@ -510,12 +527,31 @@ func (e *fnEmitter) ctorChainForced(cls string, thisReg ir.Reg, storeVt, forced 
 	}
 	forceHere := forced || cg.opts.forcesInline(cls)
 	if pb := ci.cls.PrimaryBase(); pb != "" {
-		if cg.opts.InlineParentCtors || forceHere {
+		switch {
+		case cg.opts.InlineParentCtors || forceHere:
 			parentStore := storeVt && !cg.opts.ElideDeadVtableStores && !forceHere
 			if err := e.ctorChainForced(pb, thisReg, parentStore, forceHere); err != nil {
 				return err
 			}
-		} else {
+		case cg.opts.PartialInlineParentCtors:
+			// Partial inline: splice the parent's own initialization here
+			// but leave its parent as an out-of-line call — the surviving
+			// ctor-call cue names the grandparent.
+			pi := cg.infos[pb]
+			if pi == nil {
+				return fmt.Errorf("unknown class %q", pb)
+			}
+			if gp := pi.cls.PrimaryBase(); gp != "" {
+				e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.RegThis, Rs: thisReg}, br: -1})
+				key := "ctor:" + gp
+				if err := cg.need(key); err != nil {
+					return err
+				}
+				e.emit(symInst{inst: ir.Inst{Op: ir.OpCall}, call: key, br: -1})
+			}
+			parentStore := storeVt && !cg.opts.ElideDeadVtableStores
+			e.ctorOwnInit(pi, pb, thisReg, parentStore)
+		default:
 			e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.RegThis, Rs: thisReg}, br: -1})
 			key := "ctor:" + pb
 			if err := cg.need(key); err != nil {
@@ -524,6 +560,14 @@ func (e *fnEmitter) ctorChainForced(cls string, thisReg ir.Reg, storeVt, forced 
 			e.emit(symInst{inst: ir.Inst{Op: ir.OpCall}, call: key, br: -1})
 		}
 	}
+	e.ctorOwnInit(ci, cls, thisReg, storeVt)
+	return nil
+}
+
+// ctorOwnInit emits the class's own constructor level: its vtable store,
+// its secondary subobject initialization, and its field stores.
+func (e *fnEmitter) ctorOwnInit(ci *classInfo, cls string, thisReg ir.Reg, storeVt bool) {
+	cg := e.cg
 	if ci.emitted && storeVt {
 		e.emit(symInst{inst: ir.Inst{Op: ir.OpLea, Rd: scrA}, lea: "vt:" + cls, br: -1})
 		e.emit(symInst{inst: ir.Inst{Op: ir.OpStore, Rd: thisReg, Off: 0, Rs: scrA}, br: -1})
@@ -547,7 +591,6 @@ func (e *fnEmitter) ctorChainForced(cls string, thisReg ir.Reg, storeVt, forced 
 		e.emit(symInst{inst: ir.Inst{Op: ir.OpMovImm, Rd: scrA}, br: -1})
 		e.emit(symInst{inst: ir.Inst{Op: ir.OpStore, Rd: thisReg, Off: int32(off), Rs: scrA}, br: -1})
 	}
-	return nil
 }
 
 // dtorChain mirrors ctorChain for destructors: the class reinstalls its own
@@ -568,12 +611,34 @@ func (e *fnEmitter) dtorChainForced(cls string, thisReg ir.Reg, storeVt, forced 
 		e.emit(symInst{inst: ir.Inst{Op: ir.OpStore, Rd: thisReg, Off: 0, Rs: scrA}, br: -1})
 	}
 	if pb := ci.cls.PrimaryBase(); pb != "" {
-		if cg.opts.InlineParentCtors || forceHere {
+		switch {
+		case cg.opts.InlineParentCtors || forceHere:
 			parentStore := storeVt && !cg.opts.ElideDeadVtableStores && !forceHere
 			if err := e.dtorChainForced(pb, thisReg, parentStore, forceHere); err != nil {
 				return err
 			}
-		} else {
+		case cg.opts.PartialInlineParentCtors:
+			// Partial inline, mirroring ctorChainForced: the parent's own
+			// destructor level is spliced here and the grandparent stays an
+			// out-of-line call.
+			pi := cg.infos[pb]
+			if pi == nil {
+				return fmt.Errorf("unknown class %q", pb)
+			}
+			parentStore := storeVt && !cg.opts.ElideDeadVtableStores
+			if pi.emitted && parentStore {
+				e.emit(symInst{inst: ir.Inst{Op: ir.OpLea, Rd: scrA}, lea: "vt:" + pb, br: -1})
+				e.emit(symInst{inst: ir.Inst{Op: ir.OpStore, Rd: thisReg, Off: 0, Rs: scrA}, br: -1})
+			}
+			if gp := pi.cls.PrimaryBase(); gp != "" {
+				e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.RegThis, Rs: thisReg}, br: -1})
+				key := "dtor:" + gp
+				if err := cg.need(key); err != nil {
+					return err
+				}
+				e.emit(symInst{inst: ir.Inst{Op: ir.OpCall}, call: key, br: -1})
+			}
+		default:
 			e.emit(symInst{inst: ir.Inst{Op: ir.OpMovReg, Rd: ir.RegThis, Rs: thisReg}, br: -1})
 			key := "dtor:" + pb
 			if err := cg.need(key); err != nil {
@@ -598,6 +663,17 @@ func sortedFieldOffsets(m map[string]int) []int {
 // identical bodies are merged and references rewritten, iterating to a
 // fixpoint (folding two leaves can make their callers identical).
 func (cg *codegen) fold() {
+	// With only ComdatFoldMethods set, restrict folding to linkonce method
+	// bodies (vtable slot implementations and destructors) — the COMDAT
+	// sections a linker deduplicates across translation units. Free
+	// functions and constructors keep their identity.
+	methodsOnly := !cg.opts.FoldIdenticalBodies && cg.opts.ComdatFoldMethods
+	foldable := func(k string) bool {
+		if !methodsOnly {
+			return true
+		}
+		return strings.HasPrefix(k, "m:") || strings.HasPrefix(k, "dtor:")
+	}
 	canon := map[string]string{} // key -> canonical key
 	resolve := func(k string) string {
 		for {
@@ -613,7 +689,7 @@ func (cg *codegen) fold() {
 		changed := false
 		keys := make([]string, 0, len(cg.funcs))
 		for k := range cg.funcs {
-			if resolve(k) == k {
+			if foldable(k) && resolve(k) == k {
 				keys = append(keys, k)
 			}
 		}
@@ -651,6 +727,70 @@ func (cg *codegen) fold() {
 		}
 	}
 	cg.folded = canon
+}
+
+// monoImpl reports the unique implementation a virtual call through static
+// class cls to method can reach, or "" when the site is polymorphic (or the
+// sole target is the pure-virtual stub). Class-hierarchy analysis over the
+// program's instantiated classes, memoized per (class, method).
+func (cg *codegen) monoImpl(cls, method string) string {
+	if cg.mono == nil {
+		cg.mono = map[string]string{}
+	}
+	memo := cls + "\x00" + method
+	if impl, ok := cg.mono[memo]; ok {
+		return impl
+	}
+	impl := cg.computeMono(cls, method)
+	cg.mono[memo] = impl
+	return impl
+}
+
+func (cg *codegen) computeMono(cls, method string) string {
+	vptrOff, slotIdx, err := methodSlot(cg.infos, cls, method)
+	if err != nil || vptrOff != 0 {
+		// Secondary dispatch keeps the this-adjusted indirect call.
+		return ""
+	}
+	impls := map[string]bool{}
+	for c, ci := range cg.infos {
+		if !ci.instantiated {
+			continue
+		}
+		// Primary subobject: cls on c's primary chain means a *c may flow
+		// into the call site and dispatch through c's primary table.
+		for _, a := range cg.p.PrimaryChain(c) {
+			if a == cls {
+				if slotIdx < len(ci.slots) {
+					impls[ci.slots[slotIdx].impl] = true
+				}
+				break
+			}
+		}
+		// Secondary subobjects: cls on a secondary base's primary chain
+		// means the adjusted pointer dispatches through that table.
+		for b, ss := range ci.secSlots {
+			for _, a := range cg.p.PrimaryChain(b) {
+				if a == cls {
+					if slotIdx < len(ss) {
+						impls[ss[slotIdx].impl] = true
+					}
+					break
+				}
+			}
+		}
+	}
+	if len(impls) != 1 {
+		return ""
+	}
+	var impl string
+	for k := range impls {
+		impl = k
+	}
+	if impl == "stub:purecall" {
+		return ""
+	}
+	return impl
 }
 
 // bodySignature renders a function body as a comparable string, resolving

@@ -1,0 +1,205 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/cpp"
+	"repro/internal/disasm"
+	"repro/internal/image"
+	"repro/internal/ir"
+	"repro/internal/vtable"
+)
+
+// countIndirect counts OpCallInd instructions in the named function.
+func countIndirect(t *testing.T, img *image.Image, fn string) int {
+	t.Helper()
+	fns, err := disasm.All(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, f := range fns {
+		if img.Meta.FuncNames[f.Entry] != fn {
+			continue
+		}
+		for _, in := range f.Insts {
+			if in.Op == ir.OpCallInd {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestDevirtualizeMonomorphicSites: a virtual call whose class-hierarchy
+// analysis finds exactly one reachable implementation becomes a direct
+// call; a site with two instantiated overriders keeps its indirect
+// dispatch. Ground-truth metadata is identical either way.
+func TestDevirtualizeMonomorphicSites(t *testing.T) {
+	prog := func() *cpp.Program {
+		return &cpp.Program{
+			Name: "t",
+			Classes: []*cpp.Class{
+				{Name: "A", Methods: []*cpp.Method{{Name: "m", Virtual: true}}},
+				{Name: "B", Bases: []string{"A"}, Methods: []*cpp.Method{{Name: "m", Virtual: true}}},
+			},
+			Funcs: []*cpp.Func{
+				// Static class A: both A and B instances flow through A's
+				// table, two overriders, polymorphic.
+				{Name: "useA", Body: []cpp.Stmt{cpp.New{Dst: "o", Class: "A"}, cpp.VCall{Obj: "o", Method: "m"}}},
+				// Static class B: only B reaches the site, monomorphic.
+				{Name: "useB", Body: []cpp.Stmt{cpp.New{Dst: "o", Class: "B"}, cpp.VCall{Obj: "o", Method: "m"}}},
+			},
+		}
+	}
+	opts := DefaultOptions()
+	plain, err := Compile(prog(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.DevirtualizeMono = true
+	devirt, err := Compile(prog(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countIndirect(t, plain, "useB"); n != 1 {
+		t.Fatalf("baseline useB has %d indirect calls, want 1", n)
+	}
+	if n := countIndirect(t, devirt, "useB"); n != 0 {
+		t.Errorf("monomorphic site not devirtualized: useB has %d indirect calls", n)
+	}
+	if n := countIndirect(t, devirt, "useA"); n != 1 {
+		t.Errorf("polymorphic site wrongly devirtualized: useA has %d indirect calls, want 1", n)
+	}
+	// Ground truth is a compile-option invariant.
+	for _, name := range []string{"A", "B"} {
+		p, d := plain.Meta.TypeByName(name), devirt.Meta.TypeByName(name)
+		if p == nil || d == nil {
+			t.Fatalf("type %s missing", name)
+		}
+		if (p.Parent == 0) != (d.Parent == 0) {
+			t.Errorf("type %s: parent presence differs across devirtualization", name)
+		}
+	}
+}
+
+// TestComdatFoldMethodsOnly: with only ComdatFoldMethods set, identical
+// *method* bodies (the linkonce COMDAT sections) fold, but identical free
+// functions keep their identity; FoldIdenticalBodies folds both.
+func TestComdatFoldMethodsOnly(t *testing.T) {
+	prog := func() *cpp.Program {
+		return &cpp.Program{
+			Name: "t",
+			Classes: []*cpp.Class{
+				{Name: "A", Fields: []cpp.Field{{Name: "x"}}, Methods: []*cpp.Method{
+					{Name: "ga", Virtual: true, Body: []cpp.Stmt{cpp.ReadField{Obj: "this", Field: "x"}}},
+				}},
+				{Name: "B", Fields: []cpp.Field{{Name: "y"}}, Methods: []*cpp.Method{
+					{Name: "gb", Virtual: true, Body: []cpp.Stmt{cpp.ReadField{Obj: "this", Field: "y"}}},
+				}},
+			},
+			Funcs: []*cpp.Func{
+				{Name: "g", Body: nil},
+				// f1 and f2 compile to identical bodies.
+				{Name: "f1", Body: []cpp.Stmt{cpp.CallFunc{Name: "g"}}},
+				{Name: "f2", Body: []cpp.Stmt{cpp.CallFunc{Name: "g"}}},
+				{Name: "u1", Body: []cpp.Stmt{cpp.New{Dst: "o", Class: "A"}, cpp.VCall{Obj: "o", Method: "ga"}}},
+				{Name: "u2", Body: []cpp.Stmt{cpp.New{Dst: "o", Class: "B"}, cpp.VCall{Obj: "o", Method: "gb"}}},
+			},
+		}
+	}
+	build := func(mutate func(*Options)) *image.Image {
+		opts := DefaultOptions()
+		mutate(&opts)
+		img, err := Compile(prog(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img
+	}
+	hasFunc := func(img *image.Image, name string) bool {
+		for _, n := range img.Meta.FuncNames {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	getterSlotsShared := func(img *image.Image) bool {
+		fns, err := disasm.All(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byAddr := vtable.ByAddr(vtable.Discover(img, fns))
+		a := byAddr[img.Meta.TypeByName("A").VTable]
+		b := byAddr[img.Meta.TypeByName("B").VTable]
+		return a.Slots[1] == b.Slots[1]
+	}
+
+	base := build(func(o *Options) {})
+	if getterSlotsShared(base) {
+		t.Fatal("baseline: identical getters must stay distinct")
+	}
+	comdat := build(func(o *Options) { o.ComdatFoldMethods = true })
+	if !getterSlotsShared(comdat) {
+		t.Error("ComdatFoldMethods: identical method bodies did not fold")
+	}
+	if !hasFunc(comdat, "f1") || !hasFunc(comdat, "f2") {
+		t.Error("ComdatFoldMethods must not fold free functions")
+	}
+	full := build(func(o *Options) { o.FoldIdenticalBodies = true })
+	if hasFunc(full, "f1") && hasFunc(full, "f2") {
+		t.Error("FoldIdenticalBodies: identical free functions did not fold")
+	}
+}
+
+// TestPartialCtorInlining: with PartialInlineParentCtors the parent's own
+// initialization is spliced into the child's constructor and the
+// out-of-line call that survives targets the *grandparent* — the
+// structural rule-3 cue now names the wrong class while the induced
+// ground truth is unchanged.
+func TestPartialCtorInlining(t *testing.T) {
+	prog := &cpp.Program{
+		Name: "t",
+		Classes: []*cpp.Class{
+			{Name: "A", Fields: []cpp.Field{{Name: "a"}}, Methods: []*cpp.Method{{Name: "m", Virtual: true}}},
+			{Name: "B", Bases: []string{"A"}, Fields: []cpp.Field{{Name: "b"}}},
+			{Name: "C", Bases: []string{"B"}, Fields: []cpp.Field{{Name: "c"}}},
+		},
+		Funcs: []*cpp.Func{
+			{Name: "useA", Body: []cpp.Stmt{cpp.New{Dst: "o", Class: "A"}}},
+			{Name: "useB", Body: []cpp.Stmt{cpp.New{Dst: "o", Class: "B"}}},
+			{Name: "useC", Body: []cpp.Stmt{cpp.New{Dst: "o", Class: "C"}}},
+		},
+	}
+	opts := Options{
+		InlineCtorAtNew:          true,
+		EmitDtors:                true,
+		PartialInlineParentCtors: true,
+	}
+	img, err := Compile(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, n := range img.Meta.FuncNames {
+		names[n] = true
+	}
+	if !names["A::A"] {
+		t.Error("grandparent ctor A::A must survive as the out-of-line call target")
+	}
+	if names["B::B"] {
+		t.Error("parent ctor B::B should be fully absorbed by partial inlining")
+	}
+	// The induced hierarchy is untouched: C's parent is still B.
+	c, b, a := img.Meta.TypeByName("C"), img.Meta.TypeByName("B"), img.Meta.TypeByName("A")
+	if c == nil || b == nil || a == nil {
+		t.Fatal("missing emitted types")
+	}
+	if c.Parent != b.VTable {
+		t.Errorf("induced parent of C changed: got %#x, want B %#x", c.Parent, b.VTable)
+	}
+	if b.Parent != a.VTable {
+		t.Errorf("induced parent of B changed: got %#x, want A %#x", b.Parent, a.VTable)
+	}
+}

@@ -55,6 +55,30 @@ type Options struct {
 	// modelling the compiler's per-call-site inlining decisions for
 	// trivial parent constructors.
 	ForceInlineParentCtorOf []string
+	// DevirtualizeMono turns virtual call sites with exactly one possible
+	// target into direct calls (class-hierarchy analysis over the
+	// instantiated classes, as /O2 whole-program devirtualization does for
+	// effectively-final methods). The vtable-pointer loads disappear with
+	// the indirect call, thinning the C(i) tracelet events the behavioral
+	// analysis learns from. Ground truth is unaffected: only the call
+	// encoding changes, never the hierarchy.
+	DevirtualizeMono bool
+	// ComdatFoldMethods folds byte-identical *method* bodies (vtable slot
+	// implementations and destructors) the way a linker merges identical
+	// COMDAT sections contributed by multiple TUs — unrelated vtables come
+	// to share function pointers (the §5.1 family-evidence hazard) while
+	// free functions and constructors are left alone. A strict subset of
+	// FoldIdenticalBodies, usable independently.
+	ComdatFoldMethods bool
+	// PartialInlineParentCtors inlines exactly ONE level of the parent
+	// constructor/destructor chain: the parent's own field and vtable
+	// initialization is spliced into the child, but the grandparent stays
+	// an out-of-line call. The surviving §5.2 rule-3 cue now names the
+	// grandparent instead of the parent — a misleading definitive parent,
+	// exactly what per-call-site inliners produce for trivial middle
+	// constructors. Ignored when InlineParentCtors already inlines the
+	// whole chain. Ground truth (the induced hierarchy) is unchanged.
+	PartialInlineParentCtors bool
 }
 
 // forcesInline reports whether cls's parent ctor/dtor is force-inlined.

@@ -243,6 +243,23 @@ func (p *Program) Ancestors(name string) []string {
 	return out
 }
 
+// PrimaryChain returns class name followed by its transitive primary bases,
+// nearest first. Secondary (multiple-inheritance) bases are excluded: the
+// chain lists exactly the classes whose vtable pointer occupies offset 0 of
+// an instance of name. Returns nil for an unknown class.
+func (p *Program) PrimaryChain(name string) []string {
+	var out []string
+	for n := name; n != ""; {
+		c := p.Class(n)
+		if c == nil {
+			break
+		}
+		out = append(out, n)
+		n = c.PrimaryBase()
+	}
+	return out
+}
+
 // Subclasses returns the direct subclasses of class name, in declaration
 // order.
 func (p *Program) Subclasses(name string) []string {

@@ -81,6 +81,23 @@ func TestHierarchyQueries(t *testing.T) {
 	}
 }
 
+func TestPrimaryChain(t *testing.T) {
+	p := valid()
+	// Add a secondary base to B's subclass to check MI bases are skipped.
+	p.Classes = append(p.Classes,
+		&Class{Name: "S", Methods: []*Method{{Name: "s", Virtual: true}}},
+		&Class{Name: "C", Bases: []string{"B", "S"}})
+	if got := p.PrimaryChain("C"); len(got) != 3 || got[0] != "C" || got[1] != "B" || got[2] != "A" {
+		t.Errorf("PrimaryChain(C) = %v, want [C B A]", got)
+	}
+	if got := p.PrimaryChain("A"); len(got) != 1 || got[0] != "A" {
+		t.Errorf("PrimaryChain(A) = %v, want [A]", got)
+	}
+	if got := p.PrimaryChain("Z"); got != nil {
+		t.Errorf("PrimaryChain(Z) = %v, want nil", got)
+	}
+}
+
 func TestResolveThroughChain(t *testing.T) {
 	p := valid()
 	if m := p.resolveMethod("B", "m"); m == nil || m.Pure {

@@ -1,0 +1,61 @@
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// TestSynthGridAccuracy runs the full adversarial grid and enforces the
+// harness's contract: the grid is large enough to mean something, every
+// friendly (cue-preserving) configuration reconstructs exactly — at least
+// as accurate as the Table 2 golden file's resolvable rows — and every
+// configuration clears its checked-in accuracy floor.
+func TestSynthGridAccuracy(t *testing.T) {
+	grid := bench.SynthGrid()
+	if len(grid) < 20 {
+		t.Fatalf("grid has %d configurations, want >= 20", len(grid))
+	}
+	seen := map[string]bool{}
+	for _, c := range grid {
+		if seen[c.Name] {
+			t.Fatalf("duplicate config name %s", c.Name)
+		}
+		seen[c.Name] = true
+	}
+
+	rep, err := RunSynthGrid(context.Background(), core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != AccSchema {
+		t.Errorf("report schema %q, want %q", rep.Schema, AccSchema)
+	}
+	if len(rep.Configs) != len(grid) {
+		t.Fatalf("report has %d rows for %d configs", len(rep.Configs), len(grid))
+	}
+	for _, row := range rep.Configs {
+		if row.Types == 0 {
+			t.Errorf("%s: no counted types", row.Name)
+		}
+		if len(row.Families) == 0 {
+			t.Errorf("%s: no per-family breakdown", row.Name)
+		}
+		if row.Tier != TierOf(row.Edge.F1) {
+			t.Errorf("%s: tier %q does not match F1 %.3f", row.Name, row.Tier, row.Edge.F1)
+		}
+		if row.Friendly && row.Edge.F1 != 1 {
+			t.Errorf("%s: friendly config F1 %.3f, want exact reconstruction", row.Name, row.Edge.F1)
+		}
+	}
+
+	floors, err := LoadFloors("testdata/acc_floors.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckFloors(rep, floors); err != nil {
+		t.Errorf("checked-in floors violated: %v", err)
+	}
+}

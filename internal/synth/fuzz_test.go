@@ -1,0 +1,76 @@
+package synth_test
+
+import (
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/image"
+	"repro/internal/synth"
+)
+
+// FuzzGenerate drives the generator with arbitrary bounded Params and
+// compile options: generation, compilation, and image loading must never
+// panic, and the returned ground truth must stay consistent with the
+// emitted program (a forest matching SourceHierarchy's primary map).
+func FuzzGenerate(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(2), uint8(2), uint8(1), uint8(1), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(42), uint8(4), uint8(8), uint8(1), uint8(3), uint8(2), uint8(2), uint8(1), uint8(0x1f), uint8(0xff))
+	f.Add(int64(-7), uint8(1), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(2), uint8(0x05), uint8(0x24))
+	f.Fuzz(func(t *testing.T, seed int64, families, depth, branch, methods, fields, reps, shape, knobs, optbits uint8) {
+		p := synth.Params{
+			Seed:            seed,
+			Families:        int(families % 5),
+			MaxDepth:        int(depth % 9),
+			MaxBranch:       int(branch % 5),
+			MethodsPerClass: int(methods % 4),
+			FieldsPerClass:  int(fields % 4),
+			UseReps:         int(reps % 4),
+			Shape:           synth.Shape(shape % 3),
+			Diamonds:        knobs&1 != 0,
+			AbstractRoots:   knobs&2 != 0,
+			Interleave:      knobs&4 != 0,
+			Getters:         knobs&8 != 0,
+		}
+		prog, parents := synth.Generate(p)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("invalid program: %v", err)
+		}
+		prim, _ := prog.SourceHierarchy()
+		if len(parents) != len(prim) {
+			t.Fatalf("ground truth has %d edges, SourceHierarchy %d", len(parents), len(prim))
+		}
+		for c, par := range parents {
+			if prim[c] != par {
+				t.Fatalf("ground truth %s -> %s, SourceHierarchy says %q", c, par, prim[c])
+			}
+			steps := 0
+			for n := c; n != ""; n = parents[n] {
+				if steps++; steps > len(prog.Classes) {
+					t.Fatalf("ground-truth cycle through %s", c)
+				}
+			}
+		}
+		opts := compiler.Options{
+			InlineCtorAtNew:          optbits&1 != 0,
+			InlineParentCtors:        optbits&2 != 0,
+			ElideDeadVtableStores:    optbits&4 != 0,
+			RemoveAbstractClasses:    optbits&8 != 0,
+			FoldIdenticalBodies:      optbits&16 != 0,
+			EmitDtors:                optbits&32 != 0,
+			DevirtualizeMono:         optbits&64 != 0,
+			ComdatFoldMethods:        optbits&128 != 0,
+			PartialInlineParentCtors: optbits&2 == 0 && knobs&16 != 0,
+		}
+		img, err := compiler.Compile(prog, opts)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		buf, err := img.Strip().Marshal()
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if _, err := image.Load(buf); err != nil {
+			t.Fatalf("load: %v", err)
+		}
+	})
+}

@@ -1,8 +1,18 @@
 // Package synth generates random object-oriented programs for property
-// tests and scalability runs — the stand-in for the paper's large
-// no-ground-truth binary (Skype, 21.6 MB): a seeded generator produces
-// programs with many independent hierarchies, graded usage functions, and
-// a known source hierarchy to validate against.
+// tests, scalability runs, and the adversarial accuracy grid — the
+// stand-in for the paper's large no-ground-truth binary (Skype, 21.6 MB):
+// a seeded generator produces programs with many independent hierarchies,
+// graded usage functions, and a known source hierarchy to validate
+// against.
+//
+// Beyond the legacy random trees, Params carries hierarchy-shape knobs
+// (deep chains, wide fans, multiple-inheritance diamonds,
+// hierarchy-splitting abstract roots, interleaved multi-family
+// declaration order, COMDAT-foldable accessor methods) so the accuracy
+// harness (internal/eval, rockbench -synth) can sweep scenarios the 19
+// hand-written Table 2 benchmarks never reach. Generation is a pure
+// function of Params: equal Params yield byte-identical programs and
+// ground-truth maps.
 package synth
 
 import (
@@ -11,6 +21,34 @@ import (
 
 	"repro/internal/cpp"
 )
+
+// Shape selects the hierarchy skeleton of every generated family.
+type Shape int
+
+const (
+	// ShapeRandom is the legacy seeded random tree bounded by
+	// MaxDepth/MaxBranch.
+	ShapeRandom Shape = iota
+	// ShapeDeep grows chain-heavy families: single-child descent to
+	// MaxDepth, stressing long ancestry gradients and graded containment.
+	ShapeDeep
+	// ShapeWide grows flat families: MaxBranch children under the root
+	// (and a random second level below each), stressing sibling
+	// disambiguation where structural evidence is symmetric.
+	ShapeWide
+)
+
+// String names the shape for reports and config labels.
+func (s Shape) String() string {
+	switch s {
+	case ShapeDeep:
+		return "deep"
+	case ShapeWide:
+		return "wide"
+	default:
+		return "random"
+	}
+}
 
 // Params controls program generation.
 type Params struct {
@@ -29,6 +67,30 @@ type Params struct {
 	FieldsPerClass int
 	// UseReps is the idiom repetition count in usage functions.
 	UseReps int
+
+	// Shape selects the skeleton of every family. ShapeRandom (the zero
+	// value) with every knob below unset reproduces the legacy generator
+	// byte for byte.
+	Shape Shape
+	// Diamonds inserts a multiple-inheritance diamond at the top of each
+	// family: root -> left/right, then a join class inheriting both (the
+	// source model's analogue of a virtual-inheritance diamond — the base
+	// subobject is duplicated, as in non-virtual C++ diamonds). The rest
+	// of the family grows below the join.
+	Diamonds bool
+	// AbstractRoots makes every family root pure-virtual with at least
+	// two concrete subtrees, so compiling with RemoveAbstractClasses
+	// splits the family into several binary trees (§4.1, Fig. 9).
+	AbstractRoots bool
+	// Interleave declares classes round-robin across families instead of
+	// contiguously per family, scattering each hierarchy's vtables across
+	// the image layout.
+	Interleave bool
+	// Getters adds to every class with fields a virtual accessor reading
+	// its first field: classes whose first field lands on the same byte
+	// offset compile to byte-identical bodies — the bait for
+	// identical-code / COMDAT folding modes.
+	Getters bool
 }
 
 // DefaultParams returns a mid-sized workload.
@@ -44,24 +106,43 @@ func DefaultParams(seed int64) Params {
 	}
 }
 
+// normalized clamps the bounds the generator relies on.
+func (p Params) normalized() Params {
+	p.Families = max(1, p.Families)
+	p.MaxDepth = max(1, p.MaxDepth)
+	p.MaxBranch = max(1, p.MaxBranch)
+	p.UseReps = max(1, p.UseReps)
+	if p.FieldsPerClass < 0 {
+		p.FieldsPerClass = 0
+	}
+	return p
+}
+
+// shaped reports whether any of the new shape knobs is set (the legacy
+// path is kept verbatim so existing seeds keep producing the exact same
+// programs).
+func (p Params) shaped() bool {
+	return p.Shape != ShapeRandom || p.Diamonds || p.AbstractRoots || p.Interleave || p.Getters
+}
+
 // Generate builds a random program and its expected source hierarchy
-// (child class -> parent class).
+// (child class -> primary parent class). The returned map is always a
+// forest: every parent is a generated class and parent links are acyclic.
 func Generate(p Params) (*cpp.Program, map[string]string) {
+	p = p.normalized()
+	if p.shaped() {
+		return generateShaped(p)
+	}
+	return generateLegacy(p)
+}
+
+// generateLegacy is the original recursive generator, kept byte-for-byte
+// compatible: programs produced for a given seed before the shape knobs
+// existed are reproduced exactly.
+func generateLegacy(p Params) (*cpp.Program, map[string]string) {
 	rng := rand.New(rand.NewSource(p.Seed))
 	prog := &cpp.Program{Name: fmt.Sprintf("synth-%d", p.Seed)}
 	parents := map[string]string{}
-	if p.Families < 1 {
-		p.Families = 1
-	}
-	if p.MaxDepth < 1 {
-		p.MaxDepth = 1
-	}
-	if p.MaxBranch < 1 {
-		p.MaxBranch = 1
-	}
-	if p.UseReps < 1 {
-		p.UseReps = 1
-	}
 
 	clsID := 0
 	methodID := 0
@@ -79,7 +160,7 @@ func Generate(p Params) (*cpp.Program, map[string]string) {
 			c.Bases = []string{parent}
 			parents[name] = parent
 		}
-		nm := 1 + rng.Intn(maxi(1, p.MethodsPerClass))
+		nm := 1 + rng.Intn(max(1, p.MethodsPerClass))
 		for i := 0; i < nm; i++ {
 			m := fmt.Sprintf("m%d", methodID)
 			methodID++
@@ -152,9 +233,223 @@ func Generate(p Params) (*cpp.Program, map[string]string) {
 	return prog, parents
 }
 
-func maxi(a, b int) int {
-	if a > b {
-		return a
+// skelNode is one class of a family skeleton before emission: the shape
+// pass fixes names and inheritance, the emission pass draws methods,
+// fields, and usage functions in declaration order.
+type skelNode struct {
+	name     string
+	parent   string // primary base ("" for a root)
+	second   string // secondary base ("" unless a diamond join)
+	depth    int
+	abstract bool
+}
+
+// generateShaped is the structured generator behind the shape knobs. It
+// runs in two deterministic passes: skeleton construction (family by
+// family, one rng stream) and class/function emission in declaration
+// order (contiguous per family, or round-robin with Interleave).
+func generateShaped(p Params) (*cpp.Program, map[string]string) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	prog := &cpp.Program{Name: fmt.Sprintf("synth-%d", p.Seed)}
+
+	// Pass 1: skeletons. Each family's node list is parent-before-child.
+	clsID := 0
+	var fams [][]*skelNode
+	for fam := 0; fam < p.Families; fam++ {
+		var nodes []*skelNode
+		add := func(parent, second *skelNode, depth int, abstract bool) *skelNode {
+			n := &skelNode{name: fmt.Sprintf("F%dC%d", fam, clsID), depth: depth, abstract: abstract}
+			clsID++
+			if parent != nil {
+				n.parent = parent.name
+			}
+			if second != nil {
+				n.second = second.name
+			}
+			nodes = append(nodes, n)
+			return n
+		}
+		root := add(nil, nil, 1, p.AbstractRoots)
+		top := root
+		if p.Diamonds {
+			l := add(root, nil, 2, false)
+			r := add(root, nil, 2, false)
+			top = add(l, r, 3, false) // the join: primary base l, secondary r
+		}
+		// minKids guarantees an abstract root splits into >= 2 subtrees
+		// (the diamond's two arms already do).
+		minKids := 1
+		if p.AbstractRoots && !p.Diamonds {
+			minKids = 2
+		}
+		switch p.Shape {
+		case ShapeDeep:
+			chains := max(1, minKids)
+			for c := 0; c < chains; c++ {
+				cur := top
+				for d := top.depth; d < p.MaxDepth; d++ {
+					cur = add(cur, nil, d+1, false)
+				}
+			}
+		case ShapeWide:
+			kids := max(p.MaxBranch, minKids)
+			for k := 0; k < kids; k++ {
+				c := add(top, nil, top.depth+1, false)
+				if c.depth < p.MaxDepth {
+					for j, n2 := 0, rng.Intn(p.MaxBranch+1); j < n2; j++ {
+						add(c, nil, c.depth+1, false)
+					}
+				}
+			}
+		default: // ShapeRandom skeleton
+			var grow func(parent *skelNode)
+			grow = func(parent *skelNode) {
+				if parent.depth >= p.MaxDepth {
+					return
+				}
+				for k, kids := 0, rng.Intn(p.MaxBranch+1); k < kids; k++ {
+					grow(add(parent, nil, parent.depth+1, false))
+				}
+			}
+			kids := max(rng.Intn(p.MaxBranch+1), minKids)
+			for k := 0; k < kids; k++ {
+				grow(add(top, nil, top.depth+1, false))
+			}
+		}
+		fams = append(fams, nodes)
 	}
-	return b
+
+	// Declaration order: contiguous per family, or round-robin across
+	// families. Both keep every parent declared before its children.
+	var order []*skelNode
+	if p.Interleave {
+		for i := 0; ; i++ {
+			took := false
+			for _, nodes := range fams {
+				if i < len(nodes) {
+					order = append(order, nodes[i])
+					took = true
+				}
+			}
+			if !took {
+				break
+			}
+		}
+	} else {
+		for _, nodes := range fams {
+			order = append(order, nodes...)
+		}
+	}
+
+	// Pass 2: emission in declaration order.
+	parents := map[string]string{}
+	newMethods := map[string][]string{}
+	newFields := map[string][]string{}
+	chainOf := map[string][]string{} // root-first primary ancestry incl. self
+	byName := map[string]*skelNode{}
+	methodID := 0
+	for _, n := range order {
+		byName[n.name] = n
+		c := &cpp.Class{Name: n.name}
+		if n.parent != "" {
+			c.Bases = []string{n.parent}
+			if n.second != "" {
+				c.Bases = append(c.Bases, n.second)
+			}
+			parents[n.name] = n.parent
+			chainOf[n.name] = append(append([]string(nil), chainOf[n.parent]...), n.name)
+		} else {
+			chainOf[n.name] = []string{n.name}
+		}
+
+		nm := 1 + rng.Intn(max(1, p.MethodsPerClass))
+		for i := 0; i < nm; i++ {
+			m := fmt.Sprintf("m%d", methodID)
+			methodID++
+			mm := &cpp.Method{Name: m, Virtual: true}
+			if n.abstract {
+				mm.Pure = true
+			} else {
+				mm.Body = []cpp.Stmt{cpp.Opaque{Seed: uint64(methodID)*2654435761 + 17}}
+			}
+			c.Methods = append(c.Methods, mm)
+			newMethods[n.name] = append(newMethods[n.name], m)
+		}
+		nf := rng.Intn(p.FieldsPerClass + 1)
+		for i := 0; i < nf; i++ {
+			f := fmt.Sprintf("f_%s_%d", n.name, i)
+			c.Fields = append(c.Fields, cpp.Field{Name: f})
+			newFields[n.name] = append(newFields[n.name], f)
+		}
+		if p.Getters && nf > 0 {
+			// Accessor of the first own field: classes whose first field
+			// sits at the same offset compile to identical bodies.
+			g := fmt.Sprintf("g%d", methodID)
+			methodID++
+			c.Methods = append(c.Methods, &cpp.Method{
+				Name: g, Virtual: true,
+				Body: []cpp.Stmt{cpp.ReadField{Obj: "this", Field: newFields[n.name][0]}},
+			})
+			newMethods[n.name] = append(newMethods[n.name], g)
+		}
+		if n.parent != "" {
+			if par := byName[n.parent]; par.abstract {
+				// A concrete child of an abstract root must override every
+				// inherited method to be instantiable.
+				for _, m := range newMethods[n.parent] {
+					c.Methods = append(c.Methods, &cpp.Method{
+						Name: m, Virtual: true,
+						Body: []cpp.Stmt{cpp.Opaque{Seed: uint64(methodID)*131 + uint64(len(m))}},
+					})
+					methodID++
+				}
+			} else if rng.Intn(2) == 0 {
+				// Occasionally override one root-introduced method.
+				inherited := newMethods[chainOf[n.parent][0]]
+				if len(inherited) > 0 {
+					m := inherited[rng.Intn(len(inherited))]
+					if c.Method(m) == nil {
+						c.Methods = append(c.Methods, &cpp.Method{
+							Name: m, Virtual: true,
+							Body: []cpp.Stmt{cpp.Opaque{Seed: uint64(methodID)*97 + uint64(len(m))}},
+						})
+						methodID++
+					}
+				}
+			}
+		}
+		prog.Classes = append(prog.Classes, c)
+
+		// Helper function (distinctive call(f) symbol per class).
+		prog.Funcs = append(prog.Funcs, &cpp.Func{
+			Name:   "h_" + n.name,
+			Params: []cpp.Param{{Name: "o", Class: n.name}},
+			Body:   []cpp.Stmt{cpp.Opaque{Seed: uint64(len(prog.Classes)) * 31}, cpp.Return{}},
+		})
+
+		// Usage function: graded idiom over the primary chain; a diamond
+		// join additionally performs its secondary base's idiom, so the
+		// behavioral containment covers both arms.
+		if n.abstract {
+			continue
+		}
+		levels := append([]string(nil), chainOf[n.name]...)
+		if n.second != "" {
+			levels = append(levels[:len(levels)-1], n.second, n.name)
+		}
+		body := []cpp.Stmt{cpp.New{Dst: "o", Class: n.name}}
+		for _, level := range levels {
+			for r := 0; r < p.UseReps; r++ {
+				for _, m := range newMethods[level] {
+					body = append(body, cpp.VCall{Obj: "o", Method: m})
+				}
+				for _, f := range newFields[level] {
+					body = append(body, cpp.WriteField{Obj: "o", Field: f})
+				}
+				body = append(body, cpp.CallFunc{Name: "h_" + level, Args: []cpp.Arg{cpp.ObjArg("o")}})
+			}
+		}
+		prog.Funcs = append(prog.Funcs, &cpp.Func{Name: "use_" + n.name, Body: body})
+	}
+	return prog, parents
 }

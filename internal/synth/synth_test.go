@@ -1,18 +1,221 @@
-package synth
+package synth_test
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/cpp"
 	"repro/internal/eval"
+	"repro/internal/synth"
 )
+
+// shapedParamsGrid covers every shape knob (and their combinations) for
+// the property tests below.
+func shapedParamsGrid() []synth.Params {
+	var out []synth.Params
+	out = append(out, synth.DefaultParams(3)) // legacy path
+	deep := synth.DefaultParams(5)
+	deep.Shape = synth.ShapeDeep
+	deep.MaxDepth = 7
+	deep.MaxBranch = 1
+	out = append(out, deep)
+	wide := synth.DefaultParams(7)
+	wide.Shape = synth.ShapeWide
+	wide.MaxDepth = 3
+	wide.MaxBranch = 5
+	out = append(out, wide)
+	diamonds := synth.DefaultParams(11)
+	diamonds.Diamonds = true
+	out = append(out, diamonds)
+	split := synth.DefaultParams(13)
+	split.AbstractRoots = true
+	out = append(out, split)
+	inter := synth.DefaultParams(17)
+	inter.Interleave = true
+	inter.Getters = true
+	out = append(out, inter)
+	all := synth.DefaultParams(19)
+	all.Shape = synth.ShapeDeep
+	all.Diamonds = true
+	all.AbstractRoots = true
+	all.Interleave = true
+	all.Getters = true
+	out = append(out, all)
+	return out
+}
+
+// TestGenerateDeterminism: generation is a pure function of synth.Params — equal
+// synth.Params yield deep-equal programs and ground-truth maps, and the
+// compiled images are byte-identical.
+func TestGenerateDeterminism(t *testing.T) {
+	for i, p := range shapedParamsGrid() {
+		progA, parentsA := synth.Generate(p)
+		progB, parentsB := synth.Generate(p)
+		if !reflect.DeepEqual(progA, progB) {
+			t.Fatalf("params %d: programs differ across runs", i)
+		}
+		if !reflect.DeepEqual(parentsA, parentsB) {
+			t.Fatalf("params %d: ground-truth maps differ across runs", i)
+		}
+		imgA, err := compiler.Compile(progA, compiler.DebugFriendlyOptions())
+		if err != nil {
+			t.Fatalf("params %d: compile: %v", i, err)
+		}
+		imgB, err := compiler.Compile(progB, compiler.DebugFriendlyOptions())
+		if err != nil {
+			t.Fatalf("params %d: compile: %v", i, err)
+		}
+		bufA, err := imgA.Strip().Marshal()
+		if err != nil {
+			t.Fatalf("params %d: marshal: %v", i, err)
+		}
+		bufB, err := imgB.Strip().Marshal()
+		if err != nil {
+			t.Fatalf("params %d: marshal: %v", i, err)
+		}
+		if !bytes.Equal(bufA, bufB) {
+			t.Fatalf("params %d: compiled images differ across runs", i)
+		}
+	}
+}
+
+// checkForest asserts the ground-truth map is a forest over the program's
+// classes: every parent is a generated class, every link matches the
+// source model's primary base, and parent links are acyclic.
+func checkForest(t *testing.T, prog *cpp.Program, parents map[string]string) {
+	t.Helper()
+	prim, _ := prog.SourceHierarchy()
+	if !reflect.DeepEqual(parents, prim) {
+		t.Fatalf("ground truth disagrees with SourceHierarchy:\n got  %v\n want %v", parents, prim)
+	}
+	for child, parent := range parents {
+		if prog.Class(child) == nil || prog.Class(parent) == nil {
+			t.Fatalf("edge %s -> %s references unknown class", child, parent)
+		}
+		// Walk up; a cycle would exceed the class count.
+		steps := 0
+		for n := child; n != ""; n = parents[n] {
+			if steps++; steps > len(prog.Classes) {
+				t.Fatalf("cycle through %s", child)
+			}
+		}
+	}
+}
+
+// TestGroundTruthIsForest: across every shape, the returned hierarchy is
+// a forest consistent with the generated source.
+func TestGroundTruthIsForest(t *testing.T) {
+	for i, p := range shapedParamsGrid() {
+		prog, parents := synth.Generate(p)
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("params %d: invalid program: %v", i, err)
+		}
+		if len(parents) == 0 {
+			t.Fatalf("params %d: no hierarchy edges generated", i)
+		}
+		checkForest(t, prog, parents)
+	}
+}
+
+// TestShapeKnobs spot-checks that each knob produces its advertised
+// structure.
+func TestShapeKnobs(t *testing.T) {
+	depthOf := func(parents map[string]string, c string) int {
+		d := 0
+		for n := c; parents[n] != ""; n = parents[n] {
+			d++
+		}
+		return d
+	}
+	t.Run("deep", func(t *testing.T) {
+		p := synth.DefaultParams(5)
+		p.Shape = synth.ShapeDeep
+		p.MaxDepth = 7
+		p.MaxBranch = 1
+		_, parents := synth.Generate(p)
+		maxDepth := 0
+		for c := range parents {
+			maxDepth = max(maxDepth, depthOf(parents, c))
+		}
+		if maxDepth < p.MaxDepth-1 {
+			t.Errorf("deep shape max depth %d, want >= %d", maxDepth, p.MaxDepth-1)
+		}
+	})
+	t.Run("wide", func(t *testing.T) {
+		p := synth.DefaultParams(7)
+		p.Shape = synth.ShapeWide
+		p.MaxBranch = 5
+		_, parents := synth.Generate(p)
+		kids := map[string]int{}
+		for _, par := range parents {
+			kids[par]++
+		}
+		widest := 0
+		for _, n := range kids {
+			widest = max(widest, n)
+		}
+		if widest < p.MaxBranch {
+			t.Errorf("wide shape max fan-out %d, want >= %d", widest, p.MaxBranch)
+		}
+	})
+	t.Run("diamonds", func(t *testing.T) {
+		p := synth.DefaultParams(11)
+		p.Diamonds = true
+		prog, _ := synth.Generate(p)
+		_, sec := prog.SourceHierarchy()
+		if len(sec) < p.Families {
+			t.Errorf("diamonds produced %d MI joins, want >= %d", len(sec), p.Families)
+		}
+	})
+	t.Run("abstract-roots", func(t *testing.T) {
+		p := synth.DefaultParams(13)
+		p.AbstractRoots = true
+		prog, parents := synth.Generate(p)
+		roots := map[string]bool{}
+		for c := range parents {
+			n := c
+			for parents[n] != "" {
+				n = parents[n]
+			}
+			roots[n] = true
+		}
+		for r := range roots {
+			if !prog.IsAbstract(r) {
+				t.Errorf("root %s is not abstract", r)
+			}
+			if prog.Instantiated(r) {
+				t.Errorf("abstract root %s is instantiated", r)
+			}
+		}
+	})
+	t.Run("getters", func(t *testing.T) {
+		p := synth.DefaultParams(17)
+		p.Getters = true
+		prog, _ := synth.Generate(p)
+		n := 0
+		for _, c := range prog.Classes {
+			for _, m := range c.Methods {
+				if len(m.Body) == 1 {
+					if _, ok := m.Body[0].(cpp.ReadField); ok {
+						n++
+					}
+				}
+			}
+		}
+		if n == 0 {
+			t.Error("no accessor methods generated with Getters set")
+		}
+	})
+}
 
 // TestGeneratedProgramsCompileAndValidate checks generator output across
 // seeds.
 func TestGeneratedProgramsCompileAndValidate(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
-		prog, parents := Generate(DefaultParams(seed))
+		prog, parents := synth.Generate(synth.DefaultParams(seed))
 		if err := prog.Validate(); err != nil {
 			t.Fatalf("seed %d: invalid program: %v", seed, err)
 		}
@@ -30,7 +233,7 @@ func TestGeneratedProgramsCompileAndValidate(t *testing.T) {
 // random programs.
 func TestStructuralRecoveryOnRandomPrograms(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
-		prog, _ := Generate(DefaultParams(seed))
+		prog, _ := synth.Generate(synth.DefaultParams(seed))
 		img, err := compiler.Compile(prog, compiler.DebugFriendlyOptions())
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
@@ -60,7 +263,7 @@ func TestStructuralRecoveryOnRandomPrograms(t *testing.T) {
 func TestBehavioralRecoveryOnRandomPrograms(t *testing.T) {
 	total, correct := 0, 0
 	for seed := int64(100); seed < 104; seed++ {
-		prog, _ := Generate(DefaultParams(seed))
+		prog, _ := synth.Generate(synth.DefaultParams(seed))
 		img, err := compiler.Compile(prog, compiler.DefaultOptions())
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

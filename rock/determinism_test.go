@@ -39,6 +39,43 @@ func TestReportDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestSynthDeterminismAcrossWorkers extends the worker-count guard beyond
+// the 19 hand-written benchmarks to the procedurally generated adversarial
+// grid: one config per generator shape, each under a different hard-case
+// compiler mode, analyzed at Workers 1 vs 8.
+func TestSynthDeterminismAcrossWorkers(t *testing.T) {
+	names := []string{
+		"deep/devirt",
+		"wide/opt",
+		"diamond/opt",
+		"split/comdat",
+		"interleaved/partial",
+	}
+	for _, name := range names {
+		c := bench.SynthByName(name)
+		if c == nil {
+			t.Fatalf("unknown synth config %q", name)
+		}
+		t.Run(name, func(t *testing.T) {
+			img, _, err := c.Build()
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			serial, err := AnalyzeImage(img, Options{Workers: 1})
+			if err != nil {
+				t.Fatalf("serial analysis: %v", err)
+			}
+			parallel, err := AnalyzeImage(img, Options{Workers: 8})
+			if err != nil {
+				t.Fatalf("parallel analysis: %v", err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				diffReports(t, serial, parallel)
+			}
+		})
+	}
+}
+
 // TestExtractDeterminismAcrossWorkers pins the newly parallel front end in
 // isolation: objtrace.Extract with Workers: 1 and Workers: 8 must produce
 // deep-equal Results — tracelet multisets, raw sequences, structural
