@@ -5,7 +5,7 @@
 //
 //	rock [-metric kl|js-divergence|js-distance] [-depth D] [-window W]
 //	     [-workers N] [-cache DIR] [-invalidate LEVEL]
-//	     [-structural-only] [-stats] [-trace FILE] [-v] image.rbin
+//	     [-structural-only] [-dense-dist] [-stats] [-trace FILE] [-v] image.rbin
 //	rock -corpus DIR [flags]
 //
 // The input is an image produced by this repository's compiler (see
@@ -54,6 +54,7 @@ func main() {
 	window := flag.Int("window", 7, "object tracelet window length")
 	shared := cliutil.Register(flag.CommandLine)
 	structuralOnly := flag.Bool("structural-only", false, "skip the behavioral analysis (type families and possible parents only)")
+	denseDist := flag.Bool("dense-dist", false, "compute the full per-family pairwise distance matrix instead of the sparse candidate-pair sweep (same hierarchy, quadratic cost)")
 	corpusDir := flag.String("corpus", "", "analyze every *.rbin under this directory as one batch on a shared worker pool")
 	stats := flag.Bool("stats", false, "print the per-stage observability table (wall time, allocs, cache attribution)")
 	traceFile := flag.String("trace", "", "write a chrome-tracing (Perfetto) JSON trace of the run to this file")
@@ -70,6 +71,7 @@ func main() {
 		CacheDir:       shared.CacheDir,
 		Invalidate:     shared.Invalidate,
 		StructuralOnly: *structuralOnly,
+		DenseDistances: *denseDist,
 	}
 	var trace *rock.Trace
 	if *traceFile != "" {

@@ -8,7 +8,14 @@
 //	rockbench -fig9         Fig. 9: CGridListCtrlEx ground truth vs
 //	                        reconstruction
 //	rockbench -metrics      §6.4 "Other Metrics": DKL vs JS variants
-//	rockbench -scale        §3.2 scalability: synthetic programs, 50-800 types
+//	rockbench -scale        sub-quadratic sweep benchmark: one wide synthetic
+//	                        family at -sizes (default 1000,3000,10000 types),
+//	                        sparse candidate-pair sweep vs the dense n×n
+//	                        matrix (measured up to -densemax types,
+//	                        model-estimated above; every measured dense run
+//	                        is asserted to reconstruct the same hierarchy);
+//	                        -json FILE writes the result, e.g.
+//	                        BENCH_scale.json
 //	rockbench -pipeline     serial vs parallel pipeline wall-clock on the
 //	                        largest benchmark (-json FILE writes the result)
 //	rockbench -slm          SLM micro-bench: map-based builder vs frozen
@@ -77,7 +84,9 @@ func main() {
 	slmdump := flag.Bool("slmdump", false, "dump the Fig. 8 SLM")
 	fig9 := flag.Bool("fig9", false, "print the Fig. 9 hierarchies")
 	metrics := flag.Bool("metrics", false, "run the §6.4 metric ablation")
-	scale := flag.Bool("scale", false, "run the scalability sweep")
+	scale := flag.Bool("scale", false, "benchmark the sparse distance sweep against the dense matrix on one wide synthetic family")
+	sizes := flag.String("sizes", "1000,3000,10000", "with -scale: comma-separated family sizes (types per family)")
+	denseMax := flag.Int("densemax", 1000, "with -scale: largest size at which the dense baseline is actually run (estimated above)")
 	pipeline := flag.Bool("pipeline", false, "measure serial vs parallel pipeline wall-clock")
 	slmBench := flag.Bool("slm", false, "measure the builder vs frozen SLM query kernel")
 	snapBench := flag.Bool("snapshot", false, "measure cold vs warm analysis through the snapshot cache")
@@ -98,13 +107,13 @@ func main() {
 		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid = true, true, true, true, true, true, true, true, true, true, true
 	}
 	jsonModes := 0
-	for _, on := range []bool{*pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid} {
+	for _, on := range []bool{*scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid} {
 		if on {
 			jsonModes++
 		}
 	}
 	if *jsonOut != "" && jsonModes > 1 && !*all {
-		cliutil.Usage("rockbench", "-json names a single output file; run -pipeline, -slm, -snapshot, -corpus, and -synth separately")
+		cliutil.Usage("rockbench", "-json names a single output file; run -scale, -pipeline, -slm, -snapshot, -corpus, and -synth separately")
 	}
 	if *floors != "" && !*synthGrid {
 		cliutil.Usage("rockbench", "-floors requires -synth")
@@ -156,24 +165,28 @@ func main() {
 	}
 	if *scale {
 		ran = true
-		runScale()
+		runScale(*jsonOut, *sizes, *denseMax)
 	}
 	if *pipeline {
 		ran = true
-		runPipeline(*jsonOut)
+		jp := *jsonOut
+		if *scale {
+			jp = "" // -all: the single -json path belongs to -scale
+		}
+		runPipeline(jp)
 	}
 	if *slmBench {
 		ran = true
 		jp := *jsonOut
-		if *pipeline {
-			jp = "" // -all: the single -json path belongs to -pipeline
+		if *scale || *pipeline {
+			jp = "" // -all: the single -json path belongs to an earlier mode
 		}
 		runSLMBench(jp)
 	}
 	if *snapBench {
 		ran = true
 		jp := *jsonOut
-		if *pipeline || *slmBench {
+		if *scale || *pipeline || *slmBench {
 			jp = "" // -all: the single -json path belongs to an earlier mode
 		}
 		runSnapshotBench(jp)
@@ -181,7 +194,7 @@ func main() {
 	if *corpusBench {
 		ran = true
 		jp := *jsonOut
-		if *pipeline || *slmBench || *snapBench {
+		if *scale || *pipeline || *slmBench || *snapBench {
 			jp = "" // -all: the single -json path belongs to an earlier mode
 		}
 		runCorpusBench(jp)
@@ -189,7 +202,7 @@ func main() {
 	if *synthGrid {
 		ran = true
 		jp := *jsonOut
-		if *pipeline || *slmBench || *snapBench || *corpusBench {
+		if *scale || *pipeline || *slmBench || *snapBench || *corpusBench {
 			jp = "" // -all: the single -json path belongs to an earlier mode
 		}
 		runSynth(jp, *floors)

@@ -8,14 +8,12 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"time"
 
 	"repro/internal/bench"
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/eval"
 	"repro/internal/slm"
-	"repro/internal/synth"
 )
 
 func runTable2() {
@@ -34,7 +32,11 @@ func runMotivating() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := core.Analyze(img.Strip(), benchConfig())
+	cfg := benchConfig()
+	// This walk-through prints every pairwise DKL value, so it needs the
+	// full matrix, not just the admissible candidate pairs.
+	cfg.DenseDist = true
+	res, err := core.Analyze(img.Strip(), cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -140,43 +142,6 @@ func runMetrics() {
 		}
 		fmt.Printf("  %-14s avg missing %.3f  avg added %.3f  (9 unresolvable benchmarks)\n",
 			metric.String(), totM/float64(n), totA/float64(n))
-	}
-}
-
-func runScale() {
-	fmt.Println("== §3.2 scalability: synthetic programs ==")
-	fmt.Printf("%8s %8s %10s %12s %12s\n", "families", "types", "funcs", "analysis", "parentAcc")
-	for _, fams := range []int{10, 25, 50, 100} {
-		p := synth.DefaultParams(7)
-		p.Families = fams
-		prog, _ := synth.Generate(p)
-		img, err := compiler.Compile(prog, compiler.DefaultOptions())
-		if err != nil {
-			fatal(err)
-		}
-		stripped := img.Strip()
-		start := time.Now()
-		res, err := core.Analyze(stripped, benchConfig())
-		if err != nil {
-			fatal(err)
-		}
-		elapsed := time.Since(start)
-		gt, err := eval.GroundTruthForest(img.Meta)
-		if err != nil {
-			fatal(err)
-		}
-		total, correct := 0, 0
-		for _, t := range gt.Nodes() {
-			wp, wok := gt.Parent(t)
-			gp, gok := res.Hierarchy.Parent(t)
-			total++
-			if wok == gok && (!wok || wp == gp) {
-				correct++
-			}
-		}
-		fmt.Printf("%8d %8d %10d %12s %11.1f%%\n",
-			fams, len(res.VTables), len(stripped.Entries), elapsed.Round(time.Millisecond),
-			100*float64(correct)/float64(total))
 	}
 }
 

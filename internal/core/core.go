@@ -53,6 +53,18 @@ type Config struct {
 	// largest pairwise distance in a family; it must exceed 1 so that being
 	// a derived type is always preferred (Heuristic 4.1).
 	RootWeightFactor float64
+	// DenseDist restores the full n×n per-family distance sweep: every
+	// family-internal ordered pair is reduced into Result.Dist and the
+	// virtual-root weight derives from the exact dense maximum. By default
+	// the sweep is sparse — only the structurally-admissible (parent,
+	// child) pairs the arborescence can consume are reduced, Result.Dist
+	// holds just those entries, and the root weight uses a cheap upper
+	// bound on the dense maximum (slm.DistanceCalculator.PairBound) — so a
+	// family costs Θ(n + |admissible|) reductions instead of Θ(n²). Dist
+	// entries present in both modes are bit-identical; enable dense only
+	// for reporting that needs the full matrix (e.g. rockbench
+	// -motivating prints every pairwise DKL).
+	DenseDist bool
 	// EnumLimit caps the number of co-optimal arborescences enumerated per
 	// family.
 	EnumLimit int
@@ -501,62 +513,120 @@ func (r *Result) buildHierarchy(ctx context.Context, cfg Config) error {
 	return nil
 }
 
-// analyzeFamily computes one family's pairwise distance matrix and solves
-// its arborescence. The pairwise matrix is itself parallelized: first each
-// member's word distribution over the family's shared word set is derived
-// exactly once (the DistanceCalculator memoizes per model), then the n²
-// ordered pairs reduce the cached distributions, each pair writing its own
-// slot. All model evaluation goes through the frozen flat tries — the
-// allocation-free kernel — which are bit-identical to the builders.
+// Fan-out grains for the chunked family sweeps (pool.ForEachChunk): each
+// claimed range must amortize the shared index counter over enough work
+// without starving workers on small families.
+const (
+	// modelGrain groups word-distribution derivations; a claimed range is
+	// also the batch the multi-model scoring kernel blocks over
+	// (slm.DistanceCalculator.PrecomputeBatch).
+	modelGrain = 8
+	// pairGrain groups admissible-pair divergence reductions.
+	pairGrain = 32
+	// cellGrain groups dense-matrix cells (the DenseDist reporting mode;
+	// diagonal cells are nearly free, so ranges are larger).
+	cellGrain = 256
+)
+
+// analyzeFamily computes one family's candidate distances and solves its
+// arborescence. First each member's word distribution over the family's
+// shared word set is derived exactly once — the DistanceCalculator
+// memoizes per model, and each chunk of models is scored by the blocked
+// multi-model batch kernel. Then the sweep reduces the cached
+// distributions: by default only over the structurally-admissible
+// (parent, child) pairs the arborescence can consume, with the
+// virtual-root weight taken from a cheap upper bound on the dense maximum
+// (PairBound ≥ max distance, so Heuristic 4.1's "root edges are always
+// the worst choice" ordering is preserved); under cfg.DenseDist over all
+// n² ordered pairs with the exact dense maximum. Both sweeps fan out in
+// deterministically-owned chunks, and all model evaluation goes through
+// the frozen flat tries — the allocation-free kernel — which are
+// bit-identical to the builders.
 func (r *Result) analyzeFamily(ctx context.Context, cfg Config, fam []uint64) *familyOutcome {
 	out := &familyOutcome{fr: FamilyResult{Types: append([]uint64(nil), fam...)}}
 	if len(fam) == 1 {
 		out.fr.Arbs = []map[uint64]uint64{{}}
 		return out
 	}
-	// Pairwise distances for every family-internal ordered pair (kept for
-	// reporting) and the candidate edge list, all over the family's shared
-	// word set.
 	words := r.familyWords(fam)
 	calc := slm.NewDistanceCalculator(cfg.Metric, words)
 	calc.SetScratchPool(cfg.Scratch)
 	calc.SetObserver(cfg.Obs)
 	n := len(fam)
-	if out.err = pool.ForEach(ctx, cfg.Pool, cfg.Workers, n, func(i int) {
-		calc.Precompute(r.Frozen[fam[i]])
+	calc.Reserve(n)
+	scorers := make([]slm.WordScorer, n)
+	for i, t := range fam {
+		scorers[i] = r.Frozen[t]
+	}
+	if out.err = pool.ForEachChunk(ctx, cfg.Pool, cfg.Workers, n, modelGrain, func(lo, hi int) {
+		calc.PrecomputeBatch(scorers[lo:hi])
 	}); out.err != nil {
 		return out
 	}
-	dists := make([]float64, n*n)
-	if out.err = pool.ForEach(ctx, cfg.Pool, cfg.Workers, n*n, func(k int) {
-		p, c := fam[k/n], fam[k%n]
-		if p == c {
-			return
-		}
-		dists[k] = calc.Distance(r.Frozen[p], r.Frozen[c])
-	}); out.err != nil {
-		return out
+	admissible := 0
+	for _, c := range fam {
+		admissible += len(r.Structural.PossibleParents[c])
 	}
-	cfg.Obs.Add(obs.CntDistPairs, int64(n*(n-1)))
-	out.dist = make(map[[2]uint64]float64, n*(n-1))
-	maxD := 0.0
-	for k, d := range dists {
-		p, c := fam[k/n], fam[k%n]
-		if p == c {
-			continue
+	var rootW float64
+	if cfg.DenseDist {
+		dists := make([]float64, n*n)
+		if out.err = pool.ForEachChunk(ctx, cfg.Pool, cfg.Workers, n*n, cellGrain, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				p, c := fam[k/n], fam[k%n]
+				if p == c {
+					continue
+				}
+				dists[k] = calc.Distance(r.Frozen[p], r.Frozen[c])
+			}
+		}); out.err != nil {
+			return out
 		}
-		out.dist[[2]uint64{p, c}] = d
-		if d > maxD {
-			maxD = d
+		cfg.Obs.Add(obs.CntDistPairs, int64(n*(n-1)))
+		out.dist = make(map[[2]uint64]float64, n*(n-1))
+		maxD := 0.0
+		for k, d := range dists {
+			p, c := fam[k/n], fam[k%n]
+			if p == c {
+				continue
+			}
+			out.dist[[2]uint64{p, c}] = d
+			if d > maxD {
+				maxD = d
+			}
 		}
+		rootW = maxD*cfg.RootWeightFactor + 1
+	} else {
+		// Sparse sweep: reduce only the pairs that can become arborescence
+		// edges, in the deterministic (family order, candidate order) pair
+		// layout.
+		pairs := make([][2]uint64, 0, admissible)
+		for _, c := range fam {
+			for _, p := range r.Structural.PossibleParents[c] {
+				pairs = append(pairs, [2]uint64{p, c})
+			}
+		}
+		dists := make([]float64, len(pairs))
+		if out.err = pool.ForEachChunk(ctx, cfg.Pool, cfg.Workers, len(pairs), pairGrain, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				dists[k] = calc.Distance(r.Frozen[pairs[k][0]], r.Frozen[pairs[k][1]])
+			}
+		}); out.err != nil {
+			return out
+		}
+		cfg.Obs.Add(obs.CntDistPairs, int64(len(pairs)))
+		cfg.Obs.Add(obs.CntDistPairsPruned, int64(n*(n-1)-len(pairs)))
+		out.dist = make(map[[2]uint64]float64, len(pairs))
+		for k, pc := range pairs {
+			out.dist[pc] = dists[k]
+		}
+		rootW = calc.PairBound(scorers)*cfg.RootWeightFactor + 1
 	}
 	// Graph: node 0 is the virtual root; types follow in family order.
 	nodeOf := map[uint64]int{}
 	for i, t := range fam {
 		nodeOf[t] = i + 1
 	}
-	rootW := maxD*cfg.RootWeightFactor + 1
-	var edges []arborescence.Edge
+	edges := make([]arborescence.Edge, 0, n+admissible)
 	for i := range fam {
 		edges = append(edges, arborescence.Edge{From: 0, To: i + 1, W: rootW})
 	}

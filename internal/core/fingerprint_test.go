@@ -44,15 +44,40 @@ func TestFingerprintCompat(t *testing.T) {
 		}
 	}
 
-	check("default", DefaultConfig())
+	// The legacy bytes belong to the dense sweep — every pre-sparse
+	// snapshot was written by it, and DenseDist must keep reusing them.
+	dense := DefaultConfig()
+	dense.DenseDist = true
+	check("default+dense", dense)
 
 	ablated := DefaultConfig()
+	ablated.DenseDist = true
 	ablated.SLMDepth = 3
 	ablated.Structural.DisableCtorCalls = true
 	ablated.Trace.MaxPaths = 7
 	ablated.EnumLimit = 5
 	ablated.RootWeightFactor = 2.5
-	check("ablated", ablated)
+	check("ablated+dense", ablated)
+
+	// The default sparse sweep persists a different Dist payload, so its
+	// hierarchy section is fingerprinted apart from the legacy bytes —
+	// with a pinned marker — while extraction and models stay shared with
+	// dense-mode (and pre-sparse) snapshots.
+	sparse := DefaultConfig().withDefaults()
+	sfps := sparse.graph(nil).Fingerprints()
+	dfps := dense.withDefaults().graph(nil).Fingerprints()
+	if sfps[pipeline.SecExtraction] != dfps[pipeline.SecExtraction] || sfps[pipeline.SecModels] != dfps[pipeline.SecModels] {
+		t.Error("sparse sweep changed the extraction/models fingerprints; pre-sparse snapshots lost staged reuse")
+	}
+	wantSparse := legacy("hier", fmt.Sprintf(
+		"metric=%d rootw=%.17g enumlimit=%d enumeps=%.17g sweep=sparse",
+		sparse.Metric, sparse.RootWeightFactor, sparse.EnumLimit, sparse.EnumEps))
+	if sfps[pipeline.SecHierarchy] != wantSparse {
+		t.Error("sparse hierarchy fingerprint diverged from the pinned sweep=sparse canon")
+	}
+	if sfps[pipeline.SecHierarchy] == dfps[pipeline.SecHierarchy] {
+		t.Error("sparse and dense sweeps share a hierarchy fingerprint; stale Dist payloads would cross modes")
+	}
 
 	// Workers, Pool, and the observer must not influence the key.
 	a := DefaultConfig().withDefaults()

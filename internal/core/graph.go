@@ -134,8 +134,7 @@ func (c Config) graph(res *Result) *pipeline.Graph {
 			Section: pipeline.SecHierarchy,
 			Inputs:  []pipeline.Artifact{pipeline.ArtVTables, pipeline.ArtStructural, pipeline.ArtAlphabet, pipeline.ArtFrozen},
 			Outputs: []pipeline.Artifact{pipeline.ArtDist, pipeline.ArtFamilies, pipeline.ArtHierarchy},
-			Canon: fmt.Sprintf("metric=%d rootw=%.17g enumlimit=%d enumeps=%.17g",
-				c.Metric, c.RootWeightFactor, c.EnumLimit, c.EnumEps),
+			Canon:   c.hierarchyCanon(),
 			Run: bind(func(ctx context.Context) error {
 				return res.buildHierarchy(ctx, c)
 			}),
@@ -158,6 +157,22 @@ func (c Config) graph(res *Result) *pipeline.Graph {
 		panic(fmt.Sprintf("core: invalid pipeline graph: %v", err))
 	}
 	return g
+}
+
+// hierarchyCanon renders the hierarchy stage's fingerprinted
+// configuration. Dense mode keeps the exact legacy bytes, so snapshots
+// written before the sparse sweep existed stay fully reusable under
+// DenseDist; the default sparse mode appends a marker because it changes
+// the persisted payload (Result.Dist holds only admissible pairs) and the
+// root-weight bound. Extraction and model sections are unaffected either
+// way — switching modes invalidates only the hierarchy section.
+func (c Config) hierarchyCanon() string {
+	canon := fmt.Sprintf("metric=%d rootw=%.17g enumlimit=%d enumeps=%.17g",
+		c.Metric, c.RootWeightFactor, c.EnumLimit, c.EnumEps)
+	if !c.DenseDist {
+		canon += " sweep=sparse"
+	}
+	return canon
 }
 
 // countStructural records the structural stage's domain counters: the

@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/image"
+)
+
+// assertSparseDenseEquivalent enforces the sparse sweep's contract
+// against a dense reference run on the same image: identical hierarchy,
+// identical arborescence sets and multi-parent choices (family Weight is
+// excluded — the sparse root weight comes from PairBound, a bound on the
+// dense maximum, not the maximum itself), and a Dist map whose keys are
+// exactly the structurally-admissible pairs with every value bit-identical
+// to the dense matrix entry.
+func assertSparseDenseEquivalent(t *testing.T, label string, sparse, dense *core.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(sparse.Hierarchy, dense.Hierarchy) {
+		t.Errorf("%s: sparse and dense hierarchies differ", label)
+	}
+	if !reflect.DeepEqual(sparse.MultiParents, dense.MultiParents) {
+		t.Errorf("%s: sparse and dense multi-parent choices differ", label)
+	}
+	if len(sparse.Families) != len(dense.Families) {
+		t.Fatalf("%s: %d sparse families, %d dense", label, len(sparse.Families), len(dense.Families))
+	}
+	for i := range sparse.Families {
+		s, d := sparse.Families[i], dense.Families[i]
+		if !reflect.DeepEqual(s.Types, d.Types) ||
+			!reflect.DeepEqual(s.Arbs, d.Arbs) ||
+			s.Truncated != d.Truncated {
+			t.Errorf("%s: family %d arborescences differ", label, i)
+		}
+	}
+	admissible := 0
+	for c, ps := range sparse.Structural.PossibleParents {
+		for _, p := range ps {
+			admissible++
+			sd, ok := sparse.Dist[[2]uint64{p, c}]
+			if !ok {
+				t.Errorf("%s: sparse Dist missing admissible pair (%#x, %#x)", label, p, c)
+				continue
+			}
+			dd, ok := dense.Dist[[2]uint64{p, c}]
+			if !ok || dd != sd {
+				t.Errorf("%s: Dist[%#x,%#x] sparse %v, dense %v", label, p, c, sd, dd)
+			}
+		}
+	}
+	if len(sparse.Dist) != admissible {
+		t.Errorf("%s: sparse Dist has %d entries, want exactly the %d admissible pairs",
+			label, len(sparse.Dist), admissible)
+	}
+}
+
+// sparseVsDense analyzes one image under both sweeps at the given worker
+// count and checks equivalence.
+func sparseVsDense(t *testing.T, label string, img *image.Image, workers int) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.UseSLM = true
+	cfg.Workers = workers
+	sparse, err := core.Analyze(img, cfg)
+	if err != nil {
+		t.Fatalf("%s: sparse analysis: %v", label, err)
+	}
+	cfg.DenseDist = true
+	dense, err := core.Analyze(img, cfg)
+	if err != nil {
+		t.Fatalf("%s: dense analysis: %v", label, err)
+	}
+	assertSparseDenseEquivalent(t, label, sparse, dense)
+}
+
+// TestSparseSweepMatchesDense is the sparse sweep's acceptance property
+// over the whole Table 2 suite: for every benchmark, at a serial and a
+// contended worker count, the default sparse candidate-pair sweep
+// reconstructs exactly what the dense n×n matrix does.
+func TestSparseSweepMatchesDense(t *testing.T) {
+	for _, b := range bench.All() {
+		img, _, err := b.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		for _, workers := range []int{1, 8} {
+			sparseVsDense(t, b.Name, img, workers)
+		}
+	}
+}
+
+// TestSparseSweepMatchesDenseSynth extends the equivalence check to the
+// adversarial corner of the input space: every hostile (non-friendly)
+// configuration of the synth grid — merged families, devirtualized call
+// sites, folded vtables, partial RTTI — where the structural relation is
+// noisiest and the admissible pair set least like a clean tree.
+func TestSparseSweepMatchesDenseSynth(t *testing.T) {
+	ran := 0
+	for _, c := range bench.SynthGrid() {
+		if c.Friendly {
+			continue
+		}
+		img, _, err := c.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		for _, workers := range []int{1, 8} {
+			sparseVsDense(t, c.Name, img, workers)
+		}
+		ran++
+	}
+	if ran < 5 {
+		t.Fatalf("only %d adversarial configs exercised, want >= 5", ran)
+	}
+}

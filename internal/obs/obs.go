@@ -54,6 +54,11 @@ const (
 	CntModels
 	// CntDistPairs counts the pairwise divergences computed.
 	CntDistPairs
+	// CntDistPairsPruned counts the family-internal ordered pairs the
+	// sparse sweep skipped because the structural analysis had already
+	// ruled them out as parent candidates (always zero in the dense
+	// reporting mode, which reduces every pair).
+	CntDistPairsPruned
 	// CntDistMemoHits counts distance-sweep word-distribution memo hits.
 	CntDistMemoHits
 	// CntDistMemoMisses counts word-distribution derivations actually run.
@@ -76,7 +81,7 @@ const (
 var counterNames = [numCounters]string{
 	"vtables", "tracelets", "raw_tracelets", "alphabet", "families",
 	"candidate_edges", "edges_pruned", "models", "dist_pairs",
-	"dist_memo_hits", "dist_memo_misses", "co_optimal", "arbs_kept",
+	"dist_pairs_pruned", "dist_memo_hits", "dist_memo_misses", "co_optimal", "arbs_kept",
 	"multi_parents", "pool_helpers",
 }
 

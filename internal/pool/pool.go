@@ -88,6 +88,27 @@ func ForEachIndex(workers, n int, fn func(i int)) {
 	_ = ForEach(context.Background(), nil, workers, n, fn)
 }
 
+// ForEachChunk invokes fn(lo, hi) over contiguous half-open ranges
+// covering [0,n) in steps of grain (the last range may be short), under
+// the same regimes and guarantees as ForEach. Workers claim whole ranges
+// from the shared counter instead of single indices, so sweeps whose
+// per-index work is trivial (one distance-matrix cell) amortize the claim
+// over grain items instead of drowning in scheduling overhead. The range
+// decomposition is fixed by grain — independent of worker count and claim
+// order — so index ownership stays deterministic; fn must only write to
+// state owned by indices in [lo, hi). Cancellation is checked per range:
+// a non-nil error means some ranges never ran.
+func ForEachChunk(ctx context.Context, sh *Shared, workers, n, grain int, fn func(lo, hi int)) error {
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	return ForEach(ctx, sh, workers, chunks, func(ci int) {
+		lo := ci * grain
+		fn(lo, min(lo+grain, n))
+	})
+}
+
 // ForEach invokes fn(i) for every i in [0,n) and returns nil, unless ctx
 // is canceled first, in which case it stops handing out new indices,
 // waits for the in-flight fn calls to return, and reports ctx.Err().

@@ -165,3 +165,81 @@ func TestSharedAcquire(t *testing.T) {
 		t.Fatal("NewShared(0) must clamp to capacity 1")
 	}
 }
+
+// TestForEachChunk checks the chunked variant: the ranges returned for
+// every (n, grain, workers) shape tile [0,n) exactly — contiguous,
+// non-overlapping, each boundary a multiple of grain — so chunked sweeps
+// keep the index-ownership determinism of ForEach.
+func TestForEachChunk(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, n := range []int{0, 1, 5, 64, 100, 257} {
+			for _, grain := range []int{-1, 0, 1, 3, 64, 1000} {
+				hits := make([]int32, n)
+				err := ForEachChunk(context.Background(), nil, workers, n, grain, func(lo, hi int) {
+					if lo >= hi {
+						t.Errorf("workers=%d n=%d grain=%d: empty range [%d,%d)", workers, n, grain, lo, hi)
+					}
+					g := grain
+					if g < 1 {
+						g = 1
+					}
+					if lo%g != 0 || (hi != n && hi-lo != g) {
+						t.Errorf("workers=%d n=%d grain=%d: misaligned range [%d,%d)", workers, n, grain, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("workers=%d n=%d grain=%d: index %d visited %d times", workers, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEachChunkShared exercises the shared-pool regime and
+// cancellation: a canceled context must surface as an error with no
+// double-visited index.
+func TestForEachChunkShared(t *testing.T) {
+	sh := NewShared(3)
+	hits := make([]int32, 1000)
+	if err := ForEachChunk(context.Background(), sh, 0, len(hits), 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	}); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var visited atomic.Int32
+	done := make(chan error, 1)
+	go func() {
+		done <- ForEachChunk(ctx, sh, 0, 1<<30, 8, func(lo, hi int) {
+			visited.Add(1)
+			cancel()
+		})
+	}()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled chunked fan-out did not drain")
+	}
+	if visited.Load() == 0 {
+		t.Fatal("no chunk ran before cancellation")
+	}
+}

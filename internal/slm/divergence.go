@@ -56,7 +56,6 @@ type WordScorer interface {
 // buffer and the frozen-query scratch come from s when non-nil, so
 // repeated derivations allocate nothing beyond the retained result.
 func wordDist(m WordScorer, words [][]int, s *Scratch) []float64 {
-	ps := make([]float64, len(words))
 	// Work from log-probabilities with a max-shift for numerical stability.
 	var lps []float64
 	if s != nil {
@@ -64,6 +63,14 @@ func wordDist(m WordScorer, words [][]int, s *Scratch) []float64 {
 	} else {
 		lps = m.LogProbWords(words, nil)
 	}
+	return distFromLogProbs(lps)
+}
+
+// distFromLogProbs normalizes a log-probability vector into a proper
+// distribution (max-shift, exponentiate, normalize; uniform fallback when
+// every probability underflows to zero).
+func distFromLogProbs(lps []float64) []float64 {
+	ps := make([]float64, len(lps))
 	maxLp := math.Inf(-1)
 	for _, lp := range lps {
 		if lp > maxLp {
@@ -71,7 +78,7 @@ func wordDist(m WordScorer, words [][]int, s *Scratch) []float64 {
 		}
 	}
 	sum := 0.0
-	for i := range words {
+	for i := range lps {
 		ps[i] = math.Exp(lps[i] - maxLp)
 		sum += ps[i]
 	}
@@ -85,6 +92,42 @@ func wordDist(m WordScorer, words [][]int, s *Scratch) []float64 {
 		ps[i] /= sum
 	}
 	return ps
+}
+
+// distEntry is one cached derivation: the normalized distribution plus two
+// scalars the sparse sweep's root-weight bound consumes. selfEnt is
+// Σ_{p>0} p·ln p (the negated entropy of P) and logMin is ln of the
+// smallest probability klDist would divide by (actual minimum when
+// positive, the kernel's 1e-300 floor where the distribution has zeros).
+// For any two entries, D_KL(P‖Q) = Σ p·ln p − Σ p·ln q' ≤ selfEnt(P) −
+// logMin(Q), since Σ_{p>0} p = 1 — a per-pair bound in O(1) once the
+// distributions are derived.
+type distEntry struct {
+	ps      []float64
+	selfEnt float64
+	logMin  float64
+}
+
+// newDistEntry derives a cache entry from a log-probability vector.
+func newDistEntry(lps []float64) *distEntry {
+	e := &distEntry{ps: distFromLogProbs(lps)}
+	minQ := math.Inf(1)
+	for _, p := range e.ps {
+		if p > 0 {
+			e.selfEnt += p * math.Log(p)
+			if p < minQ {
+				minQ = p
+			}
+		} else if minQ > 1e-300 {
+			minQ = 1e-300
+		}
+	}
+	if len(e.ps) == 0 {
+		e.logMin = 0
+		return e
+	}
+	e.logMin = math.Log(minQ)
+	return e
 }
 
 // WordDistribution returns the model's normalized distribution over the
@@ -190,7 +233,7 @@ type DistanceCalculator struct {
 	obs     *obs.Bus
 
 	mu    sync.Mutex
-	cache map[WordScorer][]float64
+	cache map[WordScorer]*distEntry
 }
 
 // NewDistanceCalculator returns a calculator for the given metric and word
@@ -203,8 +246,19 @@ func NewDistanceCalculator(metric Metric, words [][]int) *DistanceCalculator {
 		metric:  metric,
 		words:   words,
 		scratch: sharedScratch,
-		cache:   make(map[WordScorer][]float64),
+		cache:   make(map[WordScorer]*distEntry),
 	}
+}
+
+// Reserve sizes the distribution cache for n models, avoiding growth
+// rehashes during the per-family precompute fan-out. A no-op once any
+// distribution has been cached.
+func (c *DistanceCalculator) Reserve(n int) {
+	c.mu.Lock()
+	if len(c.cache) == 0 && n > 0 {
+		c.cache = make(map[WordScorer]*distEntry, n)
+	}
+	c.mu.Unlock()
 }
 
 // SetScratchPool replaces the pool the calculator's derivations borrow
@@ -230,29 +284,124 @@ func (c *DistanceCalculator) Words() [][]int { return c.words }
 // each) makes every subsequent Distance a pure cache hit.
 func (c *DistanceCalculator) Precompute(m WordScorer) { c.distribution(m) }
 
-// distribution returns m's cached word distribution, deriving it on miss.
-// The derivation runs outside the lock; if two goroutines race on the same
-// model the loser discards its (identical) result.
-func (c *DistanceCalculator) distribution(m WordScorer) []float64 {
+// PrecomputeBatch derives and caches the distributions of every model in
+// ms. Uncached frozen models are scored together by the blocked
+// multi-model batch kernel (each word block visits every model of the
+// batch while its symbol data is hot — see Scratch.logProbWordsBatch);
+// other scorer kinds fall back to one single-model derivation each.
+// Already-cached models cost one lookup. The cached entries are
+// bit-identical to Precompute's: the batch kernel reorders only the
+// (model, word) loop.
+func (c *DistanceCalculator) PrecomputeBatch(ms []WordScorer) {
+	var todo []*Frozen
+	var other []WordScorer
 	c.mu.Lock()
-	d, ok := c.cache[m]
+	for _, m := range ms {
+		if _, ok := c.cache[m]; ok {
+			c.obs.Add(obs.CntDistMemoHits, 1)
+			continue
+		}
+		if f, isFrozen := m.(*Frozen); isFrozen {
+			todo = append(todo, f)
+		} else {
+			other = append(other, m)
+		}
+	}
+	c.mu.Unlock()
+	for _, m := range other {
+		c.distribution(m)
+	}
+	if len(todo) == 0 {
+		return
+	}
+	c.obs.Add(obs.CntDistMemoMisses, int64(len(todo)))
+	s := c.scratch.Get()
+	rows := s.logProbWordsBatch(todo, c.words)
+	entries := make([]*distEntry, len(todo))
+	for i := range todo {
+		entries[i] = newDistEntry(rows[i])
+	}
+	c.scratch.Put(s)
+	c.mu.Lock()
+	for i, f := range todo {
+		// A concurrent derivation of the same model wins ties, matching
+		// distribution's keep-first discipline.
+		if _, ok := c.cache[f]; !ok {
+			c.cache[f] = entries[i]
+		}
+	}
+	c.mu.Unlock()
+}
+
+// PairBound returns an upper bound on the largest pairwise distance among
+// distinct models of ms over the calculator's word set, at O(|ms|) cost
+// given cached distributions (deriving any that are missing). The sparse
+// sweep uses it to weight virtual-root edges without materializing the
+// dense matrix: the Jensen–Shannon metrics are bounded by the constants
+// ln 2 and √(ln 2), and D_KL(P‖Q) ≤ selfEnt(P) − logMin(Q) (see
+// distEntry), maximized over ordered pairs by combining the two best
+// per-model terms with an index guard. The scan order is ms order, so the
+// bound is deterministic for a fixed ms.
+func (c *DistanceCalculator) PairBound(ms []WordScorer) float64 {
+	if len(c.words) == 0 || len(ms) < 2 {
+		return 0
+	}
+	switch c.metric {
+	case MetricJSDivergence:
+		return math.Ln2
+	case MetricJSDistance:
+		return math.Sqrt(math.Ln2)
+	}
+	// KL: max over i≠j of selfEnt_i − logMin_j. The maximum is separable
+	// except when one model holds both best terms, so tracking the top two
+	// of each side suffices.
+	bestA, secondA := math.Inf(-1), math.Inf(-1)
+	bestB, secondB := math.Inf(1), math.Inf(1)
+	bestAi, bestBi := -1, -1
+	for i, m := range ms {
+		e := c.distribution(m)
+		if e.selfEnt > bestA {
+			secondA = bestA
+			bestA, bestAi = e.selfEnt, i
+		} else if e.selfEnt > secondA {
+			secondA = e.selfEnt
+		}
+		if e.logMin < bestB {
+			secondB = bestB
+			bestB, bestBi = e.logMin, i
+		} else if e.logMin < secondB {
+			secondB = e.logMin
+		}
+	}
+	if bestAi != bestBi {
+		return bestA - bestB
+	}
+	return max(bestA-secondB, secondA-bestB)
+}
+
+// distribution returns m's cached entry, deriving it on miss. The
+// derivation runs outside the lock; if two goroutines race on the same
+// model the loser discards its (identical) result.
+func (c *DistanceCalculator) distribution(m WordScorer) *distEntry {
+	c.mu.Lock()
+	e, ok := c.cache[m]
 	c.mu.Unlock()
 	if ok {
 		c.obs.Add(obs.CntDistMemoHits, 1)
-		return d
+		return e
 	}
 	c.obs.Add(obs.CntDistMemoMisses, 1)
 	s := c.scratch.Get()
-	d = wordDist(m, c.words, s)
+	e = newDistEntry(s.logProbWords(m, c.words))
 	c.scratch.Put(s)
 	c.mu.Lock()
 	if prev, ok := c.cache[m]; ok {
-		d = prev
+		e = prev
 	} else {
-		c.cache[m] = d
+		c.cache[m] = e
 	}
 	c.mu.Unlock()
-	return d
+	return e
 }
 
 // Distance returns the metric distance from a to b over the calculator's
@@ -261,7 +410,7 @@ func (c *DistanceCalculator) Distance(a, b WordScorer) float64 {
 	if len(c.words) == 0 {
 		return 0
 	}
-	pa, pb := c.distribution(a), c.distribution(b)
+	pa, pb := c.distribution(a).ps, c.distribution(b).ps
 	switch c.metric {
 	case MetricJSDivergence:
 		return jsDist(pa, pb)

@@ -4,12 +4,62 @@ import "sync"
 
 // Scratch bundles the reusable query-side buffers one goroutine needs to
 // derive word distributions: a rebindable Querier (the allocation-free
-// frozen-trie query kernel) and the intermediate log-probability buffer.
-// A Scratch is not safe for concurrent use; obtain one per goroutine from
-// a ScratchPool.
+// frozen-trie query kernel) and the intermediate log-probability buffer,
+// plus the multi-model state of the blocked batch kernel (one querier and
+// one log-probability row per model of the current batch). A Scratch is
+// not safe for concurrent use; obtain one per goroutine from a
+// ScratchPool.
 type Scratch struct {
 	q   *Querier
 	lps []float64
+
+	qs   []*Querier
+	rows [][]float64
+}
+
+// batchWordBlock is the word-block width of the multi-model batch kernel:
+// every model of the batch scores one block of words before the sweep
+// advances to the next block, so the block's symbol slices stay cache-hot
+// across all models of the batch.
+const batchWordBlock = 64
+
+// logProbWordsBatch scores the word set against every frozen model of the
+// batch in one blocked pass: words are visited in blocks of
+// batchWordBlock, and each block is scored by every model while its
+// symbol data is hot, instead of streaming the whole word set per model.
+// Row i of the result is bit-identical to ms[i].LogProbWords(words, nil)
+// — the kernel only reorders the (model, word) loop; the per-(model,
+// word) arithmetic is the unchanged Querier walk. Queriers and rows are
+// retained by the Scratch, so a warm Scratch scores without allocating;
+// the rows are valid until its next use.
+func (s *Scratch) logProbWordsBatch(ms []*Frozen, words [][]int) [][]float64 {
+	for len(s.qs) < len(ms) {
+		s.qs = append(s.qs, nil)
+	}
+	for len(s.rows) < len(ms) {
+		s.rows = append(s.rows, nil)
+	}
+	for i, f := range ms {
+		if s.qs[i] == nil {
+			s.qs[i] = f.NewQuerier()
+		} else {
+			s.qs[i].Rebind(f)
+		}
+		if cap(s.rows[i]) < len(words) {
+			s.rows[i] = make([]float64, len(words))
+		}
+		s.rows[i] = s.rows[i][:len(words)]
+	}
+	for lo := 0; lo < len(words); lo += batchWordBlock {
+		hi := min(lo+batchWordBlock, len(words))
+		for mi := range ms {
+			q, row := s.qs[mi], s.rows[mi]
+			for wi := lo; wi < hi; wi++ {
+				row[wi] = q.LogProbSeq(words[wi])
+			}
+		}
+	}
+	return s.rows[:len(ms)]
 }
 
 // logProbWords scores every word through the scratch buffers: frozen
