@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rock [-metric kl|js-divergence|js-distance] [-depth D] [-window W]
-//	     [-workers N] [-cache DIR] [-invalidate LEVEL]
+//	     [-workers N] [-cache DIR] [-invalidate LEVEL] [-incr-from SNAP]
 //	     [-structural-only] [-dense-dist] [-stats] [-trace FILE] [-v] image.rbin
 //	rock -corpus DIR [flags]
 //
@@ -23,6 +23,17 @@
 // configuration skips the whole pipeline, and configuration changes
 // invalidate only the stages they affect. -invalidate caps the reuse
 // (none, hierarchy, models, all) to force recomputation.
+//
+// When the binary itself changed (a new version of the same program), the
+// exact snapshot misses, but the analysis can still diff against a prior
+// version: -incr-from names that version's .rsnap explicitly, and with
+// -cache alone the nearest prior of the same image name is auto-discovered
+// in the cache directory. Functions whose content digests are unchanged
+// skip re-extraction, types whose training inputs are unchanged keep their
+// models, and untouched families restore verbatim — the report is
+// identical to a cold run either way. -stats shows the reuse as the
+// fn_digest_hit/fn_digest_miss, types_retrained, and families_resolved
+// counters.
 //
 // -stats prints the per-stage observability table after the analysis:
 // wall time, allocation estimates, and cache-hit attribution (stages
@@ -64,14 +75,15 @@ func main() {
 		cliutil.Usage("rock", err.Error())
 	}
 	opts := rock.Options{
-		Metric:         *metric,
-		SLMDepth:       *depth,
-		Window:         *window,
-		Workers:        shared.Workers,
-		CacheDir:       shared.CacheDir,
-		Invalidate:     shared.Invalidate,
-		StructuralOnly: *structuralOnly,
-		DenseDistances: *denseDist,
+		Metric:          *metric,
+		SLMDepth:        *depth,
+		Window:          *window,
+		Workers:         shared.Workers,
+		CacheDir:        shared.CacheDir,
+		Invalidate:      shared.Invalidate,
+		IncrementalFrom: shared.IncrFrom,
+		StructuralOnly:  *structuralOnly,
+		DenseDistances:  *denseDist,
 	}
 	var trace *rock.Trace
 	if *traceFile != "" {

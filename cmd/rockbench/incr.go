@@ -1,0 +1,227 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/image"
+	"repro/internal/obs"
+	"repro/internal/snapshot"
+	"repro/internal/synth"
+)
+
+// incrCase is one measured patch size of the -incr harness.
+type incrCase struct {
+	PatchedFunctions int     `json:"patched_functions"`
+	ColdNS           int64   `json:"cold_ns"`
+	IncrNS           int64   `json:"incr_ns"`
+	Speedup          float64 `json:"speedup"`
+	FnDigestHits     int     `json:"fn_digest_hits"`
+	FnDigestMisses   int     `json:"fn_digest_misses"`
+	TypesReused      int     `json:"types_reused"`
+	TypesRetrained   int     `json:"types_retrained"`
+	FamiliesRestored int     `json:"families_restored"`
+	FamiliesResolved int     `json:"families_resolved"`
+	Identical        bool    `json:"identical"`
+}
+
+// incrResult is the JSON record emitted by -incr (the CI artifact
+// BENCH_incr.json): version-diff incremental re-analysis against a prior
+// snapshot vs a from-scratch analysis of the patched binary, per patch
+// size.
+type incrResult struct {
+	Functions     int        `json:"functions"`
+	Types         int        `json:"types"`
+	GOMAXPROCS    int        `json:"gomaxprocs"`
+	Workers       int        `json:"workers"`
+	Runs          int        `json:"runs"`
+	SnapshotBytes int64      `json:"snapshot_bytes"`
+	Cases         []incrCase `json:"cases"`
+}
+
+// incrImage builds the -incr harness binary: a deep synthetic hierarchy
+// (6 families, depth 6, branch 4) compiled with the default options and
+// stripped. The shape is chosen so the from-scratch cost is dominated by
+// the superlinear stages (training, per-family distance sweeps) that the
+// incremental lane skips when a patch leaves their inputs unchanged.
+func incrImage() *image.Image {
+	p := synth.DefaultParams(97)
+	p.Families = 6
+	p.MaxDepth = 6
+	p.MaxBranch = 4
+	p.UseReps = 4
+	prog, _ := synth.Generate(p)
+	cimg, err := compiler.Compile(prog, compiler.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	return cimg.Strip()
+}
+
+// runIncrBench measures the version-diff warm lane: a base binary is
+// analyzed cold once to persist its snapshot, then for each patch size k
+// the binary is re-linked with k functions modified and analyzed both
+// from scratch and incrementally against the base snapshot (best of
+// -incr's runs each). Every incremental result is verified deep-equal to
+// its from-scratch counterpart, the per-function digest diff must report
+// exactly k misses, and a 1-function patch must re-analyze at least 10x
+// faster than cold. Image building and the base analysis are excluded
+// from both timings; a final untimed observed run prints the per-stage
+// table with the reuse counters.
+func runIncrBench(jsonPath, patchesSpec string) {
+	fmt.Println("== incremental re-analysis: version-diff warm lane vs cold ==")
+	var ks []int
+	for _, f := range strings.Split(patchesSpec, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || k < 1 {
+			fatal(fmt.Errorf("-patches: bad patch count %q", f))
+		}
+		ks = append(ks, k)
+	}
+
+	base := incrImage()
+	cacheDir, err := os.MkdirTemp("", "rockbench-incr-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+
+	baseCfg := benchConfig()
+	baseCfg.CacheDir = cacheDir
+	baseCfg.IncrementalFrom = ""
+	baseRes, err := core.Analyze(base, baseCfg)
+	if err != nil {
+		fatal(err)
+	}
+	if baseRes.SnapshotReuse != snapshot.LevelNone {
+		fatal(fmt.Errorf("base run reused a snapshot (level %d)", baseRes.SnapshotReuse))
+	}
+	snaps, err := filepath.Glob(filepath.Join(cacheDir, "*.rsnap"))
+	if err != nil || len(snaps) != 1 {
+		fatal(fmt.Errorf("expected one base snapshot, found %d (%v)", len(snaps), err))
+	}
+	snapPath := snaps[0]
+	snapInfo, err := os.Stat(snapPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	cands := bench.PatchableFunctions(base)
+	mid := len(cands) / 2
+	for _, k := range ks {
+		if mid+k > len(cands) {
+			fatal(fmt.Errorf("harness image has only %d patchable functions, need %d", len(cands), mid+k))
+		}
+	}
+	fmt.Printf("  base: %d functions, %d types, snapshot %d bytes (%d patchable candidates)\n",
+		len(base.Entries), len(baseRes.VTables), snapInfo.Size(), len(cands))
+
+	coldCfg := benchConfig()
+	coldCfg.CacheDir = ""
+	coldCfg.IncrementalFrom = ""
+	incrCfg := coldCfg
+	incrCfg.IncrementalFrom = snapPath
+
+	const runs = 3
+	out := incrResult{
+		Functions:     len(base.Entries),
+		Types:         len(baseRes.VTables),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Workers:       shared.Workers,
+		Runs:          runs,
+		SnapshotBytes: snapInfo.Size(),
+	}
+	var smallest *image.Image
+	for _, k := range ks {
+		patched := base.Strip()
+		for _, entry := range cands[mid : mid+k] {
+			if err := bench.PatchFunction(patched, entry); err != nil {
+				fatal(err)
+			}
+		}
+		if smallest == nil {
+			smallest = patched
+		}
+
+		var cold *core.Result
+		var coldD time.Duration
+		for run := 0; run < runs; run++ {
+			start := time.Now()
+			r, err := core.Analyze(patched, coldCfg)
+			if err != nil {
+				fatal(err)
+			}
+			if d := time.Since(start); coldD == 0 || d < coldD {
+				coldD = d
+			}
+			cold = r
+		}
+
+		var incr *core.Result
+		var incrD time.Duration
+		for run := 0; run < runs; run++ {
+			start := time.Now()
+			r, err := core.Analyze(patched, incrCfg)
+			if err != nil {
+				fatal(err)
+			}
+			if d := time.Since(start); incrD == 0 || d < incrD {
+				incrD = d
+			}
+			incr = r
+		}
+		st := incr.Incremental
+		if st == nil {
+			fatal(fmt.Errorf("k=%d: incremental lane did not engage", k))
+		}
+		if st.FnMisses != k {
+			fatal(fmt.Errorf("k=%d: digest diff found %d changed functions", k, st.FnMisses))
+		}
+		identical := snapshotResultsEqual(cold, incr)
+		c := incrCase{
+			PatchedFunctions: k,
+			ColdNS:           coldD.Nanoseconds(),
+			IncrNS:           incrD.Nanoseconds(),
+			Speedup:          float64(coldD) / float64(incrD),
+			FnDigestHits:     st.FnHits,
+			FnDigestMisses:   st.FnMisses,
+			TypesReused:      st.TypesReused,
+			TypesRetrained:   st.TypesRetrained,
+			FamiliesRestored: st.FamiliesRestored,
+			FamiliesResolved: st.FamiliesResolved,
+			Identical:        identical,
+		}
+		out.Cases = append(out.Cases, c)
+		fmt.Printf("  k=%-3d cold %12s  incr %12s  %6.1fx  (hits %d, reuse %d/%d types, restored %d/%d families, identical %v)\n",
+			k, coldD.Round(time.Microsecond), incrD.Round(time.Microsecond), c.Speedup,
+			st.FnHits, st.TypesReused, st.TypesReused+st.TypesRetrained,
+			st.FamiliesRestored, st.FamiliesRestored+st.FamiliesResolved, identical)
+		if !identical {
+			fatal(fmt.Errorf("k=%d: incremental result diverged from the from-scratch analysis", k))
+		}
+		if k == 1 && c.Speedup < 10 {
+			fatal(fmt.Errorf("k=1: incremental speedup %.1fx below the 10x floor", c.Speedup))
+		}
+	}
+
+	// Untimed observed incremental run on the smallest patch: the
+	// per-stage table shows the digest diff and the reuse counters
+	// (fn_digest_hit/fn_digest_miss, types_retrained, families_resolved).
+	obsCfg := incrCfg
+	obsCfg.Obs = obs.NewBus()
+	if _, err := core.Analyze(smallest, obsCfg); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  per-stage attribution of a k=%d incremental run (observed, untimed):\n", ks[0])
+	fmt.Print(obsCfg.Obs.Report().Table())
+
+	writeJSON(jsonPath, out)
+}

@@ -38,11 +38,21 @@
 //	                        writes the report (e.g. ACC_synth.json) and
 //	                        -floors FILE gates it against checked-in
 //	                        accuracy floors (non-zero exit on regression)
+//	rockbench -incr         incremental re-analysis: a deep synthetic binary
+//	                        is analyzed once to persist its snapshot, then
+//	                        re-linked with -patches functions modified
+//	                        (default 1,5,25) and re-analyzed both from
+//	                        scratch and through the version-diff warm lane
+//	                        (-incr-from); every incremental result is
+//	                        asserted deep-equal to the from-scratch one, and
+//	                        a 1-function patch must be at least 10x faster
+//	                        than cold (-json FILE writes the result, e.g.
+//	                        BENCH_incr.json)
 //	rockbench -emit DIR     write every benchmark image to DIR (for cmd/rock)
 //	rockbench -all          everything above except -emit
 //
 // Each mode lives in its own file (paper.go, pipeline.go, slm.go,
-// snapshot.go, corpus.go, synth.go) over the shared harness in
+// snapshot.go, corpus.go, synth.go, incr.go) over the shared harness in
 // harness.go.
 //
 // The global -workers flag bounds the analysis worker pool in every mode
@@ -93,6 +103,8 @@ func main() {
 	corpusBench := flag.Bool("corpus", false, "measure the corpus batch engine against a sequential per-image loop")
 	synthGrid := flag.Bool("synth", false, "run the adversarial accuracy grid and score reconstruction per edge")
 	floors := flag.String("floors", "", "with -synth: compare the report against this accuracy-floors JSON file and exit non-zero on regression")
+	incrBench := flag.Bool("incr", false, "measure incremental re-analysis of a patched binary against a prior snapshot vs from scratch")
+	patches := flag.String("patches", "1,5,25", "with -incr: comma-separated patch sizes (functions modified per case)")
 	jsonOut := flag.String("json", "", "write the -pipeline, -slm, -snapshot, -corpus, or -synth result to this JSON file")
 	emit := flag.String("emit", "", "write benchmark images to this directory")
 	all := flag.Bool("all", false, "run every experiment")
@@ -104,19 +116,22 @@ func main() {
 		cliutil.Usage("rockbench", err.Error())
 	}
 	if *all {
-		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid = true, true, true, true, true, true, true, true, true, true, true
+		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid, *incrBench = true, true, true, true, true, true, true, true, true, true, true, true
 	}
 	jsonModes := 0
-	for _, on := range []bool{*scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid} {
+	for _, on := range []bool{*scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid, *incrBench} {
 		if on {
 			jsonModes++
 		}
 	}
 	if *jsonOut != "" && jsonModes > 1 && !*all {
-		cliutil.Usage("rockbench", "-json names a single output file; run -scale, -pipeline, -slm, -snapshot, -corpus, and -synth separately")
+		cliutil.Usage("rockbench", "-json names a single output file; run -scale, -pipeline, -slm, -snapshot, -corpus, -synth, and -incr separately")
 	}
 	if *floors != "" && !*synthGrid {
 		cliutil.Usage("rockbench", "-floors requires -synth")
+	}
+	if *patches != "1,5,25" && !*incrBench {
+		cliutil.Usage("rockbench", "-patches requires -incr")
 	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -206,6 +221,14 @@ func main() {
 			jp = "" // -all: the single -json path belongs to an earlier mode
 		}
 		runSynth(jp, *floors)
+	}
+	if *incrBench {
+		ran = true
+		jp := *jsonOut
+		if *scale || *pipeline || *slmBench || *snapBench || *corpusBench || *synthGrid {
+			jp = "" // -all: the single -json path belongs to an earlier mode
+		}
+		runIncrBench(jp, *patches)
 	}
 	if *emit != "" {
 		ran = true

@@ -1,0 +1,78 @@
+// Binary patching for the incremental-reanalysis harness: simulate a
+// "v2 of the binary" by mutating individual functions of an image in
+// place. The patch is chosen so the image stays valid and the change is
+// contained — it removes one field-write event from the patched
+// function's object traces and nothing else — which is exactly the
+// workload the version-diff warm lane is built for: k functions change,
+// the types they trace into retrain, everything else is reused.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/disasm"
+	"repro/internal/image"
+	"repro/internal/ir"
+)
+
+// patchSite returns the instruction index of the patch point in fn, or
+// -1 when the function has none. The site is a field-write idiom — an
+// OpMovImm immediately followed by an OpStore of the defined register at
+// a nonzero offset — and the patch overwrites the store with a copy of
+// the movi, deleting the W(off) event:
+//
+//   - the image stays valid (same length, decodable instructions);
+//   - machine state after the pair is bit-identical to the unpatched
+//     run (the duplicated movi redefines the same register to the same
+//     scalar, and a store never writes a register), so no downstream
+//     instruction can diverge — the only behavioral delta is the one
+//     missing write event;
+//   - the deleted event's symbol almost always recurs elsewhere in the
+//     binary (field offsets are shared across classes), so the interned
+//     alphabet keeps its first-occurrence order and only the types the
+//     patched function traces into retrain. In the rare case the site
+//     was the symbol's global first occurrence the alphabet reorders and
+//     every type retrains — strictly less reuse, never a wrong result.
+func patchSite(fn *ir.Function) int {
+	for i := 0; i+1 < len(fn.Insts); i++ {
+		movi, st := fn.Insts[i], fn.Insts[i+1]
+		if movi.Op == ir.OpMovImm && st.Op == ir.OpStore && st.Rs == movi.Rd && st.Off != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// PatchableFunctions returns the entry addresses of the functions of img
+// that PatchFunction can mutate, in entry-table order.
+func PatchableFunctions(img *image.Image) []uint64 {
+	var out []uint64
+	for _, e := range img.Entries {
+		fn, err := disasm.Function(img, e)
+		if err != nil {
+			continue
+		}
+		if patchSite(fn) >= 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PatchFunction mutates the function at entry in place (see patchSite
+// for what the patch does and why it is safe). The entry must have been
+// returned by PatchableFunctions.
+func PatchFunction(img *image.Image, entry uint64) error {
+	fn, err := disasm.Function(img, entry)
+	if err != nil {
+		return fmt.Errorf("bench: patching %#x: %w", entry, err)
+	}
+	i := patchSite(fn)
+	if i < 0 {
+		return fmt.Errorf("bench: function %#x is not patchable", entry)
+	}
+	// Overwrite the store (instruction i+1) with the movi (instruction i).
+	off := fn.AddrOf(i) - image.CodeBase
+	copy(img.Code[off+ir.InstSize:off+2*ir.InstSize], img.Code[off:off+ir.InstSize])
+	return nil
+}

@@ -30,6 +30,9 @@ type Flags struct {
 	// Invalidate is the snapshot reuse cap spelling: none, hierarchy,
 	// models, or all.
 	Invalidate string
+	// IncrFrom names a prior version's snapshot to diff the analysis
+	// against ("" = auto-discover in the cache directory).
+	IncrFrom string
 }
 
 // Register installs the shared flags on fs and returns their destination.
@@ -39,6 +42,7 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.Workers, "workers", 0, "analysis worker pool size (0 = all CPUs, 1 = serial)")
 	fs.StringVar(&f.CacheDir, "cache", "", "snapshot cache directory (created if missing); repeat analyses of the same binary reuse cached stages")
 	fs.StringVar(&f.Invalidate, "invalidate", "none", "snapshot reuse cap: none, hierarchy, models, or all")
+	fs.StringVar(&f.IncrFrom, "incr-from", "", "prior version's snapshot (.rsnap) to diff against for incremental re-analysis; with -cache, priors are auto-discovered")
 	return f
 }
 
@@ -67,6 +71,7 @@ func (f *Flags) Apply(cfg *core.Config) error {
 	cfg.Workers = f.Workers
 	cfg.CacheDir = f.CacheDir
 	cfg.Invalidate = inv
+	cfg.IncrementalFrom = f.IncrFrom
 	return nil
 }
 

@@ -98,8 +98,22 @@ type Config struct {
 	CacheDir string
 	// Invalidate caps how much of a matching snapshot may be reused,
 	// forcing recomputation of the later stages (and a rewrite of the
-	// snapshot). The zero value reuses everything valid.
+	// snapshot). The zero value reuses everything valid. The cap also
+	// bounds the incremental lane: bundles need extraction-level reuse,
+	// frozen models model-level, verbatim family restores hierarchy-level.
 	Invalidate Invalidate
+	// IncrementalFrom, when non-empty, names a snapshot file of a prior
+	// version of this image to diff against when the exact snapshot
+	// misses: unchanged functions (by image.FunctionDigest) reuse their
+	// extraction bundles, types whose training input is unchanged reuse
+	// their frozen models, and families untouched by any retrained type
+	// restore verbatim. The file must load (an unreadable path is an
+	// error), but a snapshot without a function-granular section — e.g. a
+	// v2 file — silently degrades to a cold run. When empty but CacheDir
+	// is set, the lane auto-discovers the nearest prior snapshot of the
+	// same image family (matched by hashed module name) in the cache
+	// directory.
+	IncrementalFrom string
 	// Obs, when non-nil, records the run on an observer bus: per-stage
 	// wall time, allocation estimates, cache-hit attribution, and domain
 	// counters, plus trace spans when the bus carries a Trace. Results are
@@ -225,11 +239,52 @@ type Result struct {
 	// snapshot.LevelNone (cold), LevelExtraction, LevelModels, or
 	// LevelHierarchy (fully warm). Always LevelNone without a CacheDir.
 	SnapshotReuse int
+	// Incremental reports the version-diff warm lane's reuse when it
+	// engaged (a prior sibling snapshot was diffed against); nil otherwise.
+	// The lane never changes the Result — every reused artifact is
+	// deep-equal to what recomputation would produce.
+	Incremental *IncrementalStats
 
 	// words memoizes each type's distinct encoded tracelets (the word sets
 	// the distance sweep measures over), built once per analysis instead of
 	// once per family a type belongs to.
 	words map[uint64][][]int
+	// incr carries the prior snapshot the incremental lane diffs against.
+	incr *incrState
+	// fnDigests memoizes image.FunctionDigests for this run.
+	fnDigests [][32]byte
+	// fnExts holds the per-function extraction bundles when the tracelets
+	// stage ran (fresh or reused); they become the snapshot's v3 function
+	// section.
+	fnExts []*objtrace.FnExtraction
+	// fnCtxDigest is objtrace.ContextDigest for this run's extraction.
+	fnCtxDigest [32]byte
+	// fnSection is a function section carried forward verbatim from a
+	// whole-image warm restore (the extraction never reran, so the prior
+	// section is still exact).
+	fnSection *snapshot.FnSection
+	// typeKeys memoizes each type's training-input digest (TypeKey).
+	typeKeys map[uint64][32]byte
+	// affected, when non-nil, is the set of types whose tracelet lists may
+	// differ from the diffed-against prior run (computed by the delta
+	// merge). Types outside it provably have byte-identical lists, which
+	// licenses copying their prior TypeKeys without re-hashing. Nil means
+	// no delta information: every type must be treated as affected.
+	affected map[uint64]bool
+}
+
+// IncrementalStats attributes the incremental lane's reuse.
+type IncrementalStats struct {
+	// PriorPath is the snapshot file the lane diffed against.
+	PriorPath string
+	// FnHits/FnMisses count functions whose extraction bundle was reused
+	// vs re-executed.
+	FnHits, FnMisses int
+	// TypesReused/TypesRetrained count frozen models adopted vs retrained.
+	TypesReused, TypesRetrained int
+	// FamiliesRestored/FamiliesResolved count families restored verbatim
+	// vs re-solved.
+	FamiliesRestored, FamiliesResolved int
 }
 
 // TypeNamer returns a display-name function backed by metadata when
@@ -311,6 +366,8 @@ func (r *Result) restoreHierarchy(snap *snapshot.Snapshot) {
 func (r *Result) writeSnapshot(path string, key snapshot.Key) error {
 	snap := &snapshot.Snapshot{
 		Key:          key,
+		NameHash:     snapshot.HashName(r.Image.Name),
+		Funcs:        r.buildFnSection(),
 		Alphabet:     r.Alphabet,
 		VTables:      r.VTables,
 		Tracelets:    r.Tracelets,
@@ -357,7 +414,13 @@ func (r *Result) internAlphabet() {
 		}
 	}
 	r.Alphabet = events
-	r.buildWords()
+	// On the incremental lane word sets are built lazily: restored
+	// families never read theirs, so encoding every type here would undo
+	// most of the lane's savings (buildHierarchy encodes exactly the types
+	// the re-solved families need).
+	if r.incr == nil {
+		r.buildWords()
+	}
 }
 
 // buildWords memoizes the distinct encoded tracelets of every type — each
@@ -366,15 +429,31 @@ func (r *Result) internAlphabet() {
 // on warm snapshot runs, rebuilt only when the hierarchy stage actually
 // runs). Idempotent.
 func (r *Result) buildWords() {
-	if r.words != nil {
-		return
+	addrs := make([]uint64, len(r.VTables))
+	for i, v := range r.VTables {
+		addrs[i] = v.Addr
 	}
-	idx := r.symIndex()
-	r.words = make(map[uint64][][]int, len(r.VTables))
-	for _, v := range r.VTables {
+	r.buildWordsFor(addrs)
+}
+
+// buildWordsFor fills the word-set memo for the given types, skipping any
+// already built. Not safe to call concurrently with itself or with
+// readers — callers encode on the serial path before fanning out.
+func (r *Result) buildWordsFor(types []uint64) {
+	if r.words == nil {
+		r.words = make(map[uint64][][]int, len(types))
+	}
+	var idx map[objtrace.Event]int
+	for _, t := range types {
+		if _, ok := r.words[t]; ok {
+			continue
+		}
+		if idx == nil {
+			idx = r.symIndex()
+		}
 		seen := map[string]bool{}
 		var out [][]int
-		for _, tl := range r.Tracelets.PerType[v.Addr] {
+		for _, tl := range r.Tracelets.PerType[t] {
 			k := tl.String()
 			if seen[k] {
 				continue
@@ -382,7 +461,7 @@ func (r *Result) buildWords() {
 			seen[k] = true
 			out = append(out, encode(idx, tl))
 		}
-		r.words[v.Addr] = out
+		r.words[t] = out
 	}
 }
 
@@ -416,7 +495,10 @@ func encode(idx map[objtrace.Event]int, tl objtrace.Tracelet) []int {
 // into its flat-trie query form. Types are independent (each model sees
 // only its own tracelets), so training and freezing fan out over the
 // worker pool; models land in index-owned slots and the maps are
-// assembled serially.
+// assembled serially. On the incremental lane, types whose training input
+// is provably unchanged (TypeKey match) adopt the prior frozen model and
+// skip training — those types then have no builder in Models, mirroring
+// how warm snapshot runs never carry builders.
 func (r *Result) trainModels(ctx context.Context, cfg Config) error {
 	ctx = obs.WithRegion(ctx, cfg.Obs, "train")
 	idx := r.symIndex()
@@ -424,9 +506,14 @@ func (r *Result) trainModels(ctx context.Context, cfg Config) error {
 	if alpha == 0 {
 		alpha = 1
 	}
+	reuse := r.reusableModels()
 	models := make([]*slm.Model, len(r.VTables))
 	frozen := make([]*slm.Frozen, len(r.VTables))
 	if err := pool.ForEach(ctx, cfg.Pool, cfg.Workers, len(r.VTables), func(i int) {
+		if f := reuse[r.VTables[i].Addr]; f != nil {
+			frozen[i] = f
+			return
+		}
 		m := slm.New(cfg.SLMDepth, alpha)
 		for _, tl := range r.Tracelets.PerType[r.VTables[i].Addr] {
 			m.Train(encode(idx, tl))
@@ -439,8 +526,15 @@ func (r *Result) trainModels(ctx context.Context, cfg Config) error {
 	r.Models = make(map[uint64]*slm.Model, len(r.VTables))
 	r.Frozen = make(map[uint64]*slm.Frozen, len(r.VTables))
 	for i, v := range r.VTables {
-		r.Models[v.Addr] = models[i]
+		if models[i] != nil {
+			r.Models[v.Addr] = models[i]
+		}
 		r.Frozen[v.Addr] = frozen[i]
+	}
+	if r.Incremental != nil {
+		r.Incremental.TypesReused = len(reuse)
+		r.Incremental.TypesRetrained = len(r.VTables) - len(reuse)
+		cfg.Obs.Add(obs.CntTypesRetrained, int64(r.Incremental.TypesRetrained))
 	}
 	return nil
 }
@@ -480,7 +574,6 @@ type familyOutcome struct {
 // order, making the merged Result identical to a serial run.
 func (r *Result) buildHierarchy(ctx context.Context, cfg Config) error {
 	ctx = obs.WithRegion(ctx, cfg.Obs, "hierarchy")
-	r.buildWords()
 	r.Dist = map[[2]uint64]float64{}
 
 	var all []uint64
@@ -489,9 +582,29 @@ func (r *Result) buildHierarchy(ctx context.Context, cfg Config) error {
 	}
 	r.Hierarchy = hierarchy.NewForest(all)
 
+	// Incremental lane: restore provably-unchanged families verbatim
+	// before the fan-out (cheap map lookups, done serially so the counters
+	// need no atomics); only the rest are re-solved. Word sets are then
+	// encoded serially for exactly the types the re-solved families read
+	// (restored families never touch theirs).
 	outs := make([]*familyOutcome, len(r.Structural.Families))
+	restored := r.restoreFamilies(cfg, outs)
+	if r.Incremental != nil {
+		r.Incremental.FamiliesRestored = restored
+		r.Incremental.FamiliesResolved = len(outs) - restored
+		cfg.Obs.Add(obs.CntFamiliesResolved, int64(len(outs)-restored))
+	}
+	var solving []uint64
+	for i, fam := range r.Structural.Families {
+		if outs[i] == nil {
+			solving = append(solving, fam...)
+		}
+	}
+	r.buildWordsFor(solving)
 	if err := pool.ForEach(ctx, cfg.Pool, cfg.Workers, len(r.Structural.Families), func(i int) {
-		outs[i] = r.analyzeFamily(ctx, cfg, r.Structural.Families[i])
+		if outs[i] == nil {
+			outs[i] = r.analyzeFamily(ctx, cfg, r.Structural.Families[i])
+		}
 	}); err != nil {
 		return err
 	}

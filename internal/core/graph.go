@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/disasm"
 	"repro/internal/image"
-	"repro/internal/objtrace"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/snapshot"
@@ -75,15 +74,13 @@ func (c Config) graph(res *Result) *pipeline.Graph {
 			Canon: fmt.Sprintf("paths=%d steps=%d unroll=%d window=%d tracelen=%d",
 				tr.MaxPaths, tr.MaxSteps, tr.MaxUnroll, tr.Window, tr.MaxTraceLen),
 			Run: bind(func(ctx context.Context) error {
-				tls, err := objtrace.ExtractContext(ctx, res.Image, res.Funcs, res.VTables, c.Trace)
-				if err != nil {
+				if err := res.extractTracelets(ctx, c); err != nil {
 					return err
 				}
-				res.Tracelets = tls
-				for _, seqs := range tls.PerType {
+				for _, seqs := range res.Tracelets.PerType {
 					bus.Add(obs.CntTracelets, int64(len(seqs)))
 				}
-				for _, seqs := range tls.RawPerType {
+				for _, seqs := range res.Tracelets.RawPerType {
 					bus.Add(obs.CntRawTracelets, int64(len(seqs)))
 				}
 				return nil
@@ -267,6 +264,31 @@ func AnalyzeContext(ctx context.Context, img *image.Image, cfg Config) (*Result,
 	bus.SetSnapshotReuse(level)
 
 	res := &Result{Image: img, SnapshotReuse: level}
+
+	// Version-diff warm lane: on an exact miss, diff against the nearest
+	// prior snapshot of the same image family so unchanged functions,
+	// models, and families skip recomputation (see incremental.go). The
+	// lane needs at least extraction-level reuse to be allowed.
+	if cfg.UseSLM && level == snapshot.LevelNone &&
+		cfg.Invalidate.maxLevel() >= snapshot.LevelExtraction &&
+		(cfg.IncrementalFrom != "" || cfg.CacheDir != "") {
+		h := bus.StageStart("snapshot-diff", "cache")
+		if cachePath == "" {
+			// No cache directory: the key wasn't derived above, but the
+			// lane still needs it to grade the prior's fingerprints.
+			key = cfg.snapshotKey(img)
+		}
+		prior, priorPath, err := res.findPrior(cfg, key)
+		h.End(err)
+		if err != nil {
+			return nil, err
+		}
+		if prior != nil {
+			res.incr = &incrState{prior: prior, key: key, maxLevel: cfg.Invalidate.maxLevel()}
+			res.Incremental = &IncrementalStats{PriorPath: priorPath}
+		}
+	}
+
 	// Restore every section the chain covers; the corresponding stages
 	// are then skipped as cached. Funcs and Models stay nil on restored
 	// sections (documented Result behavior): disassembly is skipped
@@ -276,6 +298,9 @@ func AnalyzeContext(ctx context.Context, img *image.Image, cfg Config) (*Result,
 		res.Tracelets = snap.Tracelets
 		res.Structural = snap.Structural
 		res.Alphabet = snap.Alphabet
+		// The extraction never reran, so the prior function section (when
+		// the file was v3) is still exact; carry it into any rewrite.
+		res.fnSection = snap.Funcs
 	}
 	if level >= snapshot.LevelModels {
 		res.Frozen = snap.Frozen

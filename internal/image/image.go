@@ -169,6 +169,44 @@ func (img *Image) ContentDigest() [32]byte {
 	return out
 }
 
+// FunctionDigest returns a stable SHA-256 digest of function i's
+// analysis-relevant content: its entry address and its raw body bytes.
+// The entry address is included deliberately — extraction artifacts embed
+// absolute addresses (call(f) events, structural observations), so a
+// byte-identical body relocated to a different address must not share a
+// digest with the original. The consequence is that only in-place edits
+// (same-length patches) preserve the digests of the untouched functions;
+// a layout-shifting edit re-keys every function after it, which costs
+// reuse but never correctness.
+func (img *Image) FunctionDigest(i int) [32]byte {
+	start, end, err := img.FuncBounds(img.Entries[i])
+	if err != nil {
+		// Entries[i] is by definition a function entry; FuncBounds on it
+		// cannot fail for a validated image.
+		panic(err)
+	}
+	h := sha256.New()
+	h.Write([]byte("rockfn\x00"))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], start)
+	h.Write(b[:])
+	h.Write(img.Code[start-CodeBase : end-CodeBase])
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// FunctionDigests returns one FunctionDigest per function, in entry-table
+// order. It is the image-level function-digest table the incremental
+// snapshot lane diffs against a prior version of the binary.
+func (img *Image) FunctionDigests() [][32]byte {
+	out := make([][32]byte, len(img.Entries))
+	for i := range img.Entries {
+		out[i] = img.FunctionDigest(i)
+	}
+	return out
+}
+
 // InCode reports whether addr lies within the code section.
 func (img *Image) InCode(addr uint64) bool {
 	return addr >= CodeBase && addr < CodeBase+uint64(len(img.Code))

@@ -159,3 +159,48 @@ func TestContentDigest(t *testing.T) {
 		m.Rodata = append([]byte{0}, m.Rodata...)
 	})
 }
+
+// TestFunctionDigests pins the incremental lane's function half: digests
+// are stable, an in-place patch moves exactly the patched function's
+// digest, and a body relocated to a different entry address never keeps
+// its digest (extraction artifacts embed absolute addresses).
+func TestFunctionDigests(t *testing.T) {
+	img := sampleImage().Strip()
+	base := img.FunctionDigests()
+	if len(base) != len(img.Entries) {
+		t.Fatalf("digest table has %d entries for %d functions", len(base), len(img.Entries))
+	}
+	if base[0] == base[1] {
+		t.Error("distinct functions share a digest")
+	}
+	again := img.FunctionDigests()
+	for i := range base {
+		if base[i] != again[i] {
+			t.Fatalf("function %d digest not stable", i)
+		}
+		if base[i] != img.FunctionDigest(i) {
+			t.Fatalf("FunctionDigest(%d) disagrees with the table", i)
+		}
+	}
+
+	// In-place patch inside function 1 (bytes 32..64): only digest 1 moves.
+	patched := sampleImage().Strip()
+	patched.Code[40] ^= 0xff
+	got := patched.FunctionDigests()
+	if got[0] != base[0] {
+		t.Error("patch in function 1 moved function 0's digest")
+	}
+	if got[1] == base[1] {
+		t.Error("patch in function 1 kept its digest")
+	}
+
+	// Same body at a different entry address: digest must move.
+	moved := sampleImage().Strip()
+	moved.Entries = []uint64{CodeBase, CodeBase + 16}
+	movedDigests := moved.FunctionDigests()
+	// moved function 1 is bytes 16..64 (all zero) vs base function 0's
+	// bytes 0..32 (all zero): same leading content class, different entry.
+	if movedDigests[1] == base[1] {
+		t.Error("relocated entry kept its digest")
+	}
+}

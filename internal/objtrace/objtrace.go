@@ -22,6 +22,8 @@ package objtrace
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -181,6 +183,80 @@ type Result struct {
 	FnVTables map[uint64][]uint64
 }
 
+// EntryThisVT is the sentinel "vtable" of segments observed on a
+// function's receiver object before any install: the merge attributes
+// them to every vtable containing the function.
+const EntryThisVT = ^uint64(0)
+
+// Segment is one typed event run of an abstract object within a function:
+// the behavioral events observed while the object's primary vtable was
+// VT. VT is a discovered vtable address or EntryThisVT.
+type Segment struct {
+	VT     uint64
+	Events []Event
+}
+
+// FnExtraction is one function's complete extractor output — the unit of
+// function-granular snapshot reuse. It depends only on the function's own
+// body plus the cross-function inputs ContextDigest hashes, so two
+// extractions of a byte-identical function under an identical context are
+// deep-equal, and a restored bundle merges exactly like a fresh one.
+type FnExtraction struct {
+	// Entry is the function's entry address.
+	Entry uint64
+	// Segments holds the function's typed event runs, deduplicated per
+	// (VT, content) in first-observation order — the order the serial
+	// merge consumes.
+	Segments []Segment
+	// Structs are the structural observations recorded by this function
+	// (ObjStruct.Fn == Entry on every element), deduplicated.
+	Structs []ObjStruct
+}
+
+// ContextDigest hashes the symbolic executor's only cross-function
+// inputs: the function entry table, the import table, and the discovered
+// vtable set (addresses and slot contents). A per-function extraction is
+// reusable across binary versions exactly when the function's own content
+// digest (image.FunctionDigest) and this context digest both match —
+// everything else an executor reads is local to the function body. Rodata
+// is deliberately absent: the executor never reads it directly, and the
+// part that matters (vtables) is hashed post-discovery.
+func ContextDigest(img *image.Image, vts []*vtable.VTable) [32]byte {
+	h := sha256.New()
+	var b [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	writeU64(uint64(len(img.Entries)))
+	for _, e := range img.Entries {
+		writeU64(e)
+	}
+	addrs := make([]uint64, 0, len(img.Imports))
+	for a := range img.Imports {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	writeU64(uint64(len(addrs)))
+	for _, a := range addrs {
+		writeU64(a)
+		name := img.Imports[a]
+		writeU64(uint64(len(name)))
+		h.Write([]byte(name))
+	}
+	writeU64(uint64(len(vts)))
+	for _, v := range vts {
+		writeU64(v.Addr)
+		writeU64(uint64(len(v.Slots)))
+		for _, f := range v.Slots {
+			writeU64(f)
+		}
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
 // Extract runs the symbolic execution over every function of the image.
 func Extract(img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Config) *Result {
 	res, _ := ExtractContext(context.Background(), img, fns, vts, cfg)
@@ -191,60 +267,95 @@ func Extract(img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Con
 // fan-out stops starting new per-function executions, drains the running
 // ones, and returns ctx.Err() with a nil Result.
 func ExtractContext(ctx context.Context, img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Config) (*Result, error) {
+	exts, err := ExtractFunctions(ctx, img, fns, vts, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return MergeFunctions(exts, vts, cfg), nil
+}
+
+// ExtractFunctions produces one FnExtraction per function. Functions are
+// mutually independent, so the symbolic executions fan out over the
+// worker pool into index-owned slots. When reuse is non-nil it is
+// consulted first for every index; a non-nil bundle (typically restored
+// from a prior version's snapshot) is adopted verbatim and the function's
+// execution is skipped — the incremental lane's whole saving. reuse must
+// be safe for concurrent calls with distinct indices.
+func ExtractFunctions(ctx context.Context, img *image.Image, fns []*ir.Function, vts []*vtable.VTable, cfg Config, reuse func(i int) *FnExtraction) ([]*FnExtraction, error) {
 	cfg = cfg.withDefaults()
 	// Name the fan-out for trace spans; free unless the context carries a
 	// tracing bus.
 	ctx = obs.WithRegion(ctx, obs.BusFrom(ctx), "tracelets")
+	vtSet := map[uint64]bool{}
+	fnVTables := map[uint64][]uint64{}
+	for _, v := range vts {
+		vtSet[v.Addr] = true
+		for _, f := range v.Slots {
+			fnVTables[f] = append(fnVTables[f], v.Addr)
+		}
+	}
+	exts := make([]*FnExtraction, len(fns))
+	if err := pool.ForEach(ctx, cfg.Pool, cfg.Workers, len(fns), func(i int) {
+		if reuse != nil {
+			if b := reuse(i); b != nil {
+				exts[i] = b
+				return
+			}
+		}
+		ex := &executor{
+			img: img, fn: fns[i], cfg: cfg, vtSet: vtSet,
+			thisTypes: fnVTables[fns[i].Entry],
+		}
+		ex.run()
+		exts[i] = ex.extraction()
+	}); err != nil {
+		return nil, err
+	}
+	return exts, nil
+}
+
+// MergeFunctions assembles per-function extractions into the extractor
+// Result: a serial walk in function order, so the (order-sensitive)
+// per-function deduplication and per-type attribution see the segments
+// exactly as a serial extraction would. The Result is byte-identical
+// whether each bundle was freshly executed or restored.
+func MergeFunctions(exts []*FnExtraction, vts []*vtable.VTable, cfg Config) *Result {
+	cfg = cfg.withDefaults()
 	res := &Result{
 		PerType:    map[uint64][]Tracelet{},
 		RawPerType: map[uint64][][]Event{},
 		FnVTables:  map[uint64][]uint64{},
 	}
-	vtSet := map[uint64]bool{}
 	for _, v := range vts {
-		vtSet[v.Addr] = true
 		for _, f := range v.Slots {
 			res.FnVTables[f] = append(res.FnVTables[f], v.Addr)
 		}
 	}
-	// Per-function symbolic executions are independent: fan them out over
-	// the worker pool into index-owned slots, then merge serially in
-	// function order so the (order-sensitive) deduplication below sees the
-	// segments exactly as a serial run would.
-	exs := make([]*executor, len(fns))
-	if err := pool.ForEach(ctx, cfg.Pool, cfg.Workers, len(fns), func(i int) {
-		ex := &executor{
-			img: img, fn: fns[i], cfg: cfg, vtSet: vtSet,
-			thisTypes: res.FnVTables[fns[i].Entry],
-		}
-		ex.run()
-		exs[i] = ex
-	}); err != nil {
-		return nil, err
-	}
 	structSeen := map[string]bool{}
-	for i, fn := range fns {
-		ex := exs[i]
-		// Deduplicate raw sequences per (object segment type, content).
+	for _, ext := range exts {
+		// Deduplicate raw sequences per (object segment type, content);
+		// bundles arrive pre-deduplicated, but restored data is re-checked
+		// so a hand-edited snapshot can only lose segments, never multiply
+		// them.
 		seqSeen := map[string]bool{}
-		for _, seg := range ex.segments {
-			key := fmt.Sprintf("%d|%s", seg.vt, eventsKey(seg.events))
-			if seqSeen[key] || len(seg.events) == 0 {
+		for _, seg := range ext.Segments {
+			key := fmt.Sprintf("%d|%s", seg.VT, eventsKey(seg.Events))
+			if seqSeen[key] || len(seg.Events) == 0 {
 				continue
 			}
 			seqSeen[key] = true
-			types := []uint64{seg.vt}
-			if seg.vt == entryThisType {
-				types = res.FnVTables[fn.Entry]
+			types := []uint64{seg.VT}
+			if seg.VT == EntryThisVT {
+				types = res.FnVTables[ext.Entry]
 			}
 			for _, t := range types {
-				res.RawPerType[t] = append(res.RawPerType[t], seg.events)
-				for _, tl := range windows(seg.events, cfg.Window) {
+				res.RawPerType[t] = append(res.RawPerType[t], seg.Events)
+				for _, tl := range windows(seg.Events, cfg.Window) {
 					res.PerType[t] = append(res.PerType[t], tl)
 				}
 			}
 		}
-		for _, os := range ex.structs {
+		for _, os := range ext.Structs {
 			key := structKey(os)
 			if !structSeen[key] {
 				structSeen[key] = true
@@ -252,7 +363,154 @@ func ExtractContext(ctx context.Context, img *image.Image, fns []*ir.Function, v
 			}
 		}
 	}
-	return res, nil
+	return res
+}
+
+// MergeFunctionsDelta produces the same Result MergeFunctions would,
+// reusing a prior merge of the same function set in which only the
+// functions marked changed differ. The caller must guarantee alignment:
+// exts and priorFns describe the same entries and vts is unchanged (the
+// incremental lane certifies both with the extraction-context digest).
+//
+// The merge is separable by type: every dedup key carries the segment's
+// type (or the struct's function), so a type's tracelet lists depend only
+// on the segments attributed to it, in function order. A type is affected
+// when any changed function attributes a segment to it in either version;
+// every other type's lists are adopted from the prior merge verbatim, and
+// only affected types are rebuilt. The affected set is returned so
+// downstream consumers can scope their own invalidation to it.
+func MergeFunctionsDelta(exts []*FnExtraction, changed []bool, priorFns map[uint64]*FnExtraction, prior *Result, vts []*vtable.VTable, cfg Config) (*Result, map[uint64]bool) {
+	cfg = cfg.withDefaults()
+	res := &Result{
+		PerType:    map[uint64][]Tracelet{},
+		RawPerType: map[uint64][][]Event{},
+		FnVTables:  map[uint64][]uint64{},
+	}
+	for _, v := range vts {
+		for _, f := range v.Slots {
+			res.FnVTables[f] = append(res.FnVTables[f], v.Addr)
+		}
+	}
+	affected := map[uint64]bool{}
+	mark := func(ext *FnExtraction) {
+		if ext == nil {
+			return
+		}
+		for _, seg := range ext.Segments {
+			if seg.VT == EntryThisVT {
+				for _, t := range res.FnVTables[ext.Entry] {
+					affected[t] = true
+				}
+			} else {
+				affected[seg.VT] = true
+			}
+		}
+	}
+	for i, ext := range exts {
+		if changed[i] {
+			mark(ext)
+			mark(priorFns[ext.Entry])
+		}
+	}
+	for t, tls := range prior.PerType {
+		if !affected[t] {
+			res.PerType[t] = tls
+		}
+	}
+	for t, seqs := range prior.RawPerType {
+		if !affected[t] {
+			res.RawPerType[t] = seqs
+		}
+	}
+	priorStructs := map[uint64][]ObjStruct{}
+	for _, os := range prior.Structs {
+		priorStructs[os.Fn] = append(priorStructs[os.Fn], os)
+	}
+	for i, ext := range exts {
+		// Rebuild the affected types' lists. Restricting the scan to
+		// affected-type segments cannot change dedup outcomes: the keys
+		// include the type, so skipped segments never collide with kept
+		// ones.
+		var seqSeen map[string]bool
+		for _, seg := range ext.Segments {
+			types := []uint64{seg.VT}
+			if seg.VT == EntryThisVT {
+				types = res.FnVTables[ext.Entry]
+			}
+			hit := false
+			for _, t := range types {
+				if affected[t] {
+					hit = true
+					break
+				}
+			}
+			if !hit || len(seg.Events) == 0 {
+				continue
+			}
+			key := fmt.Sprintf("%d|%s", seg.VT, eventsKey(seg.Events))
+			if seqSeen[key] {
+				continue
+			}
+			if seqSeen == nil {
+				seqSeen = map[string]bool{}
+			}
+			seqSeen[key] = true
+			for _, t := range types {
+				if !affected[t] {
+					continue
+				}
+				res.RawPerType[t] = append(res.RawPerType[t], seg.Events)
+				for _, tl := range windows(seg.Events, cfg.Window) {
+					res.PerType[t] = append(res.PerType[t], tl)
+				}
+			}
+		}
+		// Structs dedup by (function, content), so an unchanged function's
+		// structs are exactly its slice of the prior merge.
+		if !changed[i] {
+			res.Structs = append(res.Structs, priorStructs[ext.Entry]...)
+			continue
+		}
+		structSeen := map[string]bool{}
+		for _, os := range ext.Structs {
+			key := structKey(os)
+			if !structSeen[key] {
+				structSeen[key] = true
+				res.Structs = append(res.Structs, os)
+			}
+		}
+	}
+	return res, affected
+}
+
+// extraction converts a finished executor into its portable bundle,
+// applying the same per-function deduplication the merge performs (the
+// keys include the segment type, so deduplicating here then re-checking
+// at merge time changes nothing).
+func (ex *executor) extraction() *FnExtraction {
+	out := &FnExtraction{Entry: ex.fn.Entry}
+	seqSeen := map[string]bool{}
+	for _, seg := range ex.segments {
+		if len(seg.events) == 0 {
+			continue
+		}
+		key := fmt.Sprintf("%d|%s", seg.vt, eventsKey(seg.events))
+		if seqSeen[key] {
+			continue
+		}
+		seqSeen[key] = true
+		out.Segments = append(out.Segments, Segment{VT: seg.vt, Events: seg.events})
+	}
+	structSeen := map[string]bool{}
+	for _, os := range ex.structs {
+		key := structKey(os)
+		if structSeen[key] {
+			continue
+		}
+		structSeen[key] = true
+		out.Structs = append(out.Structs, os)
+	}
+	return out
 }
 
 // windows splits a sequence into tracelets of length at most w (sliding
@@ -306,7 +564,7 @@ type val struct {
 
 // entryThisType marks segments of the function's receiver object before any
 // install: they are attributed to every vtable containing the function.
-const entryThisType = ^uint64(0)
+const entryThisType = EntryThisVT
 
 // untyped marks segments of an object not yet associated with a vtable.
 const untypedType = uint64(0)

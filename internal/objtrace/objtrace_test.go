@@ -1,6 +1,8 @@
 package objtrace
 
 import (
+	"context"
+	"reflect"
 	"testing"
 
 	"repro/internal/compiler"
@@ -201,3 +203,201 @@ func TestLoopUnrollBounded(t *testing.T) {
 }
 
 var _ = ir.InstSize // keep the import for the helper's type references
+
+// TestSplitExtractionEquivalence pins the incremental lane's core
+// contract: splitting extraction into per-function bundles and merging
+// them reproduces ExtractContext exactly, and bundles fed back through
+// the reuse hook (as a version-diff restore would) change nothing.
+func TestSplitExtractionEquivalence(t *testing.T) {
+	img, err := compiler.Compile(prog(), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := img.Strip()
+	fns, err := disasm.All(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vts := vtable.Discover(stripped, fns)
+	cfg := DefaultConfig()
+
+	want := Extract(stripped, fns, vts, cfg)
+	exts, err := ExtractFunctions(context.Background(), stripped, fns, vts, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exts) != len(fns) {
+		t.Fatalf("got %d bundles for %d functions", len(exts), len(fns))
+	}
+	for i, ext := range exts {
+		if ext.Entry != fns[i].Entry {
+			t.Fatalf("bundle %d entry %#x, want %#x", i, ext.Entry, fns[i].Entry)
+		}
+		for _, os := range ext.Structs {
+			if os.Fn != ext.Entry {
+				t.Fatalf("bundle %#x carries struct of fn %#x", ext.Entry, os.Fn)
+			}
+		}
+	}
+	got := MergeFunctions(exts, vts, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("MergeFunctions(ExtractFunctions(...)) differs from Extract")
+	}
+
+	// Re-run with every bundle supplied via the reuse hook: no executor
+	// runs, and the merged result is still identical.
+	reused, err := ExtractFunctions(context.Background(), stripped, fns, vts, cfg,
+		func(i int) *FnExtraction { return exts[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reused, exts) {
+		t.Fatal("reuse hook altered the bundles")
+	}
+	if !reflect.DeepEqual(MergeFunctions(reused, vts, cfg), want) {
+		t.Fatal("merge of reused bundles differs from Extract")
+	}
+}
+
+// TestContextDigest pins what the cross-function digest covers: stable
+// across calls, insensitive to code bytes (those are the per-function
+// digests' job), sensitive to entries, imports, and vtable contents.
+func TestContextDigest(t *testing.T) {
+	img, err := compiler.Compile(prog(), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := img.Strip()
+	fns, err := disasm.All(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vts := vtable.Discover(stripped, fns)
+	base := ContextDigest(stripped, vts)
+	if base != ContextDigest(stripped, vts) {
+		t.Fatal("context digest not stable")
+	}
+
+	patched := stripped.Strip()
+	patched.Code[0] ^= 0xff
+	if ContextDigest(patched, vts) != base {
+		t.Error("code byte changed the context digest")
+	}
+
+	moved := stripped.Strip()
+	moved.Entries = append([]uint64(nil), moved.Entries...)
+	moved.Entries[0] += 16
+	if ContextDigest(moved, vts) == base {
+		t.Error("entry change kept the context digest")
+	}
+
+	renamed := stripped.Strip()
+	renamed.Imports = map[uint64]string{}
+	for a, n := range stripped.Imports {
+		renamed.Imports[a] = n
+	}
+	for a := range renamed.Imports {
+		renamed.Imports[a] = "other"
+		break
+	}
+	if ContextDigest(renamed, vts) == base {
+		t.Error("import rename kept the context digest")
+	}
+
+	if len(vts) > 0 && len(vts[0].Slots) > 0 {
+		vcopy := make([]*vtable.VTable, len(vts))
+		copy(vcopy, vts)
+		alt := *vts[0]
+		alt.Slots = append([]uint64(nil), alt.Slots...)
+		alt.Slots[0]++
+		vcopy[0] = &alt
+		if ContextDigest(stripped, vcopy) == base {
+			t.Error("vtable slot change kept the context digest")
+		}
+	}
+}
+
+// TestMergeFunctionsDelta pins the delta merge's contract: for any
+// changed mask, merging the current bundles against a prior full merge of
+// entry-aligned bundles reproduces MergeFunctions exactly — including
+// when the prior bundles genuinely differ from the current ones — and the
+// affected set is empty exactly when nothing changed.
+func TestMergeFunctionsDelta(t *testing.T) {
+	img, err := compiler.Compile(prog(), compiler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := img.Strip()
+	fns, err := disasm.All(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vts := vtable.Discover(stripped, fns)
+	cfg := DefaultConfig()
+	exts, err := ExtractFunctions(context.Background(), stripped, fns, vts, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MergeFunctions(exts, vts, cfg)
+	priorFns := map[uint64]*FnExtraction{}
+	for _, e := range exts {
+		priorFns[e.Entry] = e
+	}
+
+	// Identical prior: any changed mask must reproduce the full merge.
+	for name, mark := range map[string]func(int) bool{
+		"none":      func(int) bool { return false },
+		"every-3rd": func(i int) bool { return i%3 == 0 },
+		"all":       func(int) bool { return true },
+	} {
+		changed := make([]bool, len(exts))
+		n := 0
+		for i := range changed {
+			if mark(i) {
+				changed[i] = true
+				n++
+			}
+		}
+		got, affected := MergeFunctionsDelta(exts, changed, priorFns, want, vts, cfg)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("mask %s: delta merge differs from full merge", name)
+		}
+		if n == 0 && len(affected) != 0 {
+			t.Fatalf("mask %s: %d affected types with nothing changed", name, len(affected))
+		}
+	}
+
+	// Real difference: the prior version of one bundle is missing a
+	// segment (as if the old code never emitted it). The delta merge must
+	// repair the type's lists to the current full merge, and report the
+	// segment's type as affected.
+	victim := -1
+	for i, e := range exts {
+		if len(e.Segments) > 0 && len(e.Segments[len(e.Segments)-1].Events) > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no bundle with a non-empty segment")
+	}
+	old := *exts[victim]
+	old.Segments = old.Segments[:len(old.Segments)-1]
+	priorExts := append([]*FnExtraction(nil), exts...)
+	priorExts[victim] = &old
+	prior := MergeFunctions(priorExts, vts, cfg)
+	oldFns := map[uint64]*FnExtraction{}
+	for _, e := range priorExts {
+		oldFns[e.Entry] = e
+	}
+	changed := make([]bool, len(exts))
+	changed[victim] = true
+	got, affected := MergeFunctionsDelta(exts, changed, oldFns, prior, vts, cfg)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("delta merge over a differing prior did not repair the full merge")
+	}
+	vt := exts[victim].Segments[len(exts[victim].Segments)-1].VT
+	if !affected[vt] {
+		t.Fatalf("type %#x lost a segment but is not marked affected", vt)
+	}
+}

@@ -73,6 +73,18 @@ const (
 	// CntPoolHelpers counts the fan-out helper goroutines the pool spawned
 	// for this analysis (a measure of the parallelism actually won).
 	CntPoolHelpers
+	// CntFnDigestHits counts functions whose extraction bundle was reused
+	// from a prior version's snapshot on the incremental lane.
+	CntFnDigestHits
+	// CntFnDigestMisses counts functions re-executed because their content
+	// digest changed (or the prior snapshot had no bundle for them).
+	CntFnDigestMisses
+	// CntTypesRetrained counts SLMs retrained on the incremental lane
+	// because the type's training input changed.
+	CntTypesRetrained
+	// CntFamiliesResolved counts families re-solved on the incremental
+	// lane (the rest restored verbatim from the prior snapshot).
+	CntFamiliesResolved
 
 	numCounters
 )
@@ -83,6 +95,7 @@ var counterNames = [numCounters]string{
 	"candidate_edges", "edges_pruned", "models", "dist_pairs",
 	"dist_pairs_pruned", "dist_memo_hits", "dist_memo_misses", "co_optimal", "arbs_kept",
 	"multi_parents", "pool_helpers",
+	"fn_digest_hit", "fn_digest_miss", "types_retrained", "families_resolved",
 }
 
 // String returns the counter's report name.

@@ -79,6 +79,30 @@ func sampleSnapshot() *Snapshot {
 		},
 		Parents:      map[uint64]uint64{0x2010: 0x2000},
 		MultiParents: map[uint64][]uint64{0x2010: {0x2000, 0x2010}},
+		NameHash:     HashName("sample"),
+		Funcs: &FnSection{
+			ContextDigest: [32]byte{0xcc, 1, 2, 3},
+			Funcs: []FnBundle{
+				{Digest: [32]byte{0xfd, 0}, Ext: objtrace.FnExtraction{
+					Entry: 0x4000,
+					Segments: []objtrace.Segment{
+						{VT: 0x2000, Events: []objtrace.Event{ev(objtrace.EvCall, 0), ev(objtrace.EvThis, 0)}},
+						{VT: objtrace.EntryThisVT, Events: []objtrace.Event{ev(objtrace.EvRet, 0)}},
+					},
+					Structs: []objtrace.ObjStruct{
+						{Fn: 0x4000, EntryThis: true, Events: []objtrace.StructEvent{
+							{Install: true, Off: 0, VT: 0x2000},
+						}},
+					},
+				}},
+				// A function with no extraction output at all.
+				{Digest: [32]byte{0xfd, 1}, Ext: objtrace.FnExtraction{Entry: 0x4010}},
+			},
+			TypeKeys: map[uint64][32]byte{
+				0x2000: {0x7a, 0},
+				0x2010: {0x7a, 1},
+			},
+		},
 	}
 	for i := range s.Key.Digest {
 		s.Key.Digest[i] = byte(i)
@@ -201,5 +225,86 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	}
 	if _, err := Decode(append(append([]byte(nil), data...), 0)); err == nil {
 		t.Error("trailing bytes accepted")
+	}
+	// A snapshot without a function section stays encodable and decodes
+	// with Funcs nil (the presence flag, not heuristics, carries that).
+	s := sampleSnapshot()
+	s.Funcs = nil
+	noFn, err := s.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Decode(noFn); err != nil || got.Funcs != nil {
+		t.Errorf("nil-Funcs round trip: funcs=%v err=%v", got.Funcs, err)
+	}
+}
+
+// TestV2CompatRoundTrip pins the migration contract: a v2-encoded file
+// (pre-incremental layout) still decodes as a whole-image-valid snapshot —
+// same key and sections, nil function section, zero name hash — and its
+// header parses through both probes.
+func TestV2CompatRoundTrip(t *testing.T) {
+	s := sampleSnapshot()
+	data, err := s.EncodeVersion(2)
+	if err != nil {
+		t.Fatalf("encode v2: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("decode v2: %v", err)
+	}
+	if got.Funcs != nil {
+		t.Error("v2 decode produced a function section")
+	}
+	if got.NameHash != ([32]byte{}) {
+		t.Error("v2 decode produced a name hash")
+	}
+	want := sampleSnapshot()
+	want.Funcs = nil
+	want.NameHash = [32]byte{}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("v2 round trip lost sections")
+	}
+	if got.Key.Usable(got) != LevelHierarchy {
+		t.Error("v2 snapshot not fully usable for its own key")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "v2.rsnap")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k, err := ReadKey(path)
+	if err != nil || k != s.Key {
+		t.Errorf("ReadKey on v2 file: key match=%v err=%v", k == s.Key, err)
+	}
+	h, err := ReadHeader(path)
+	if err != nil || h.Version != 2 || h.NameHash != ([32]byte{}) {
+		t.Errorf("ReadHeader on v2 file: %+v err=%v", h, err)
+	}
+
+	if _, err := s.EncodeVersion(1); err == nil {
+		t.Error("EncodeVersion(1) accepted")
+	}
+}
+
+// TestReadHeaderV3 checks the cheap probe surfaces the v3 name hash the
+// incremental auto-discovery keys on.
+func TestReadHeaderV3(t *testing.T) {
+	s := sampleSnapshot()
+	dir := t.TempDir()
+	path := filepath.Join(dir, s.Key.FileName())
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Version != Version || h.Key != s.Key || h.NameHash != HashName("sample") {
+		t.Fatalf("header mismatch: %+v", h)
+	}
+	if HashName("sample") == HashName("elsewhere") {
+		t.Error("distinct names share a hash")
 	}
 }

@@ -93,6 +93,13 @@ type Options struct {
 	// arborescences, "models" also retrains the SLMs, and "all" forces a
 	// fully cold run (rewriting the cache).
 	Invalidate string
+	// IncrementalFrom names a prior version's snapshot (.rsnap) to diff
+	// the analysis against: functions, models, and families whose inputs
+	// are provably unchanged since that snapshot are reused instead of
+	// recomputed. Empty with CacheDir set auto-discovers the nearest
+	// prior of the same image name in the cache directory. The Report is
+	// identical to a cold run either way.
+	IncrementalFrom string
 	// Observer, when non-nil, records the analysis on an observability bus;
 	// the collected Stats land in Report.Stats. Attach a Trace to the
 	// Observer to additionally capture chrome-tracing spans. Observation
@@ -183,6 +190,7 @@ func config(opts Options) (core.Config, error) {
 		return cfg, err
 	}
 	cfg.Invalidate = inv
+	cfg.IncrementalFrom = opts.IncrementalFrom
 	cfg.Obs = opts.Observer
 	return cfg, nil
 }
