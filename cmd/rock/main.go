@@ -74,6 +74,10 @@ func main() {
 	if _, err := shared.Resolve(); err != nil {
 		cliutil.Usage("rock", err.Error())
 	}
+	// Ctrl-C / SIGTERM cancels the analysis cleanly (workers drain, the
+	// snapshot store is never left mid-write); a second signal kills.
+	ctx, stop := cliutil.WithSignals(context.Background())
+	defer stop()
 	opts := rock.Options{
 		Metric:          *metric,
 		SLMDepth:        *depth,
@@ -93,7 +97,7 @@ func main() {
 		if flag.NArg() != 0 {
 			cliutil.Usage("rock", "usage: rock -corpus DIR [flags]")
 		}
-		runCorpus(*corpusDir, opts, *stats, trace)
+		runCorpus(ctx, *corpusDir, opts, *stats, trace)
 		writeTrace(trace, *traceFile)
 		return
 	}
@@ -109,7 +113,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := rock.Analyze(data, opts)
+	rep, err := rock.AnalyzeContext(ctx, data, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -167,7 +171,7 @@ func writeTrace(trace *rock.Trace, path string) {
 // streams as analyses complete, and per-image summaries print in file
 // order at the end (the batch result is deterministic — identical to
 // analyzing each image alone).
-func runCorpus(dir string, opts rock.Options, stats bool, trace *rock.Trace) {
+func runCorpus(ctx context.Context, dir string, opts rock.Options, stats bool, trace *rock.Trace) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.rbin"))
 	if err != nil {
 		fatal(err)
@@ -187,7 +191,7 @@ func runCorpus(dir string, opts rock.Options, stats bool, trace *rock.Trace) {
 		}
 	}
 	start := time.Now()
-	rep, err := rock.AnalyzeCorpus(context.Background(), imgs, rock.CorpusOptions{
+	rep, err := rock.AnalyzeCorpus(ctx, imgs, rock.CorpusOptions{
 		Options: opts,
 		Observe: stats,
 		Trace:   trace,

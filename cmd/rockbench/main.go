@@ -48,12 +48,22 @@
 //	                        a 1-function patch must be at least 10x faster
 //	                        than cold (-json FILE writes the result, e.g.
 //	                        BENCH_incr.json)
+//	rockbench -serve        rockd daemon loadgen: starts an in-process
+//	                        daemon on a loopback listener and drives it
+//	                        over HTTP — 100 concurrent identical
+//	                        submissions must collapse to exactly 1 analysis
+//	                        (singleflight), hot-cache hits must beat the
+//	                        cold analysis by >= 50x at p50, and the
+//	                        interactive hot path must stay under one
+//	                        cold-analysis time while a batch backlog
+//	                        drains; all three are fatal assertions (-json
+//	                        FILE writes the result, e.g. BENCH_serve.json)
 //	rockbench -emit DIR     write every benchmark image to DIR (for cmd/rock)
 //	rockbench -all          everything above except -emit
 //
 // Each mode lives in its own file (paper.go, pipeline.go, slm.go,
-// snapshot.go, corpus.go, synth.go, incr.go) over the shared harness in
-// harness.go.
+// snapshot.go, corpus.go, synth.go, incr.go, serve.go) over the shared
+// harness in harness.go.
 //
 // The global -workers flag bounds the analysis worker pool in every mode
 // (0 = all CPUs, 1 = serial), and -cache/-invalidate thread the snapshot
@@ -104,6 +114,7 @@ func main() {
 	synthGrid := flag.Bool("synth", false, "run the adversarial accuracy grid and score reconstruction per edge")
 	floors := flag.String("floors", "", "with -synth: compare the report against this accuracy-floors JSON file and exit non-zero on regression")
 	incrBench := flag.Bool("incr", false, "measure incremental re-analysis of a patched binary against a prior snapshot vs from scratch")
+	serveBench := flag.Bool("serve", false, "load-generate against an in-process rockd daemon and assert its serving-path claims (singleflight, hot cache, admission isolation)")
 	patches := flag.String("patches", "1,5,25", "with -incr: comma-separated patch sizes (functions modified per case)")
 	jsonOut := flag.String("json", "", "write the -pipeline, -slm, -snapshot, -corpus, or -synth result to this JSON file")
 	emit := flag.String("emit", "", "write benchmark images to this directory")
@@ -116,16 +127,16 @@ func main() {
 		cliutil.Usage("rockbench", err.Error())
 	}
 	if *all {
-		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid, *incrBench = true, true, true, true, true, true, true, true, true, true, true, true
+		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid, *incrBench, *serveBench = true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
 	jsonModes := 0
-	for _, on := range []bool{*scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid, *incrBench} {
+	for _, on := range []bool{*scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid, *incrBench, *serveBench} {
 		if on {
 			jsonModes++
 		}
 	}
 	if *jsonOut != "" && jsonModes > 1 && !*all {
-		cliutil.Usage("rockbench", "-json names a single output file; run -scale, -pipeline, -slm, -snapshot, -corpus, -synth, and -incr separately")
+		cliutil.Usage("rockbench", "-json names a single output file; run -scale, -pipeline, -slm, -snapshot, -corpus, -synth, -incr, and -serve separately")
 	}
 	if *floors != "" && !*synthGrid {
 		cliutil.Usage("rockbench", "-floors requires -synth")
@@ -229,6 +240,14 @@ func main() {
 			jp = "" // -all: the single -json path belongs to an earlier mode
 		}
 		runIncrBench(jp, *patches)
+	}
+	if *serveBench {
+		ran = true
+		jp := *jsonOut
+		if *scale || *pipeline || *slmBench || *snapBench || *corpusBench || *synthGrid || *incrBench {
+			jp = "" // -all: the single -json path belongs to an earlier mode
+		}
+		runServe(jp)
 	}
 	if *emit != "" {
 		ran = true

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/rockd"
+	"repro/internal/synth"
+	"repro/rock"
+)
+
+// ServeSchema identifies the BENCH_serve.json format.
+const ServeSchema = "rock-bench-serve/v1"
+
+// serveReport is the JSON record emitted by -serve (the CI artifact
+// BENCH_serve.json): the daemon's three serving-path claims, each
+// measured over real HTTP on a loopback listener and asserted fatally —
+// a regression fails the benchmark, not just a number in a file.
+type serveReport struct {
+	Schema     string `json:"schema"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Workers    int    `json:"workers"`
+
+	// Singleflight: N concurrent identical submissions -> ONE analysis.
+	Singleflight struct {
+		Submissions int   `json:"submissions"`
+		Analyses    int64 `json:"analyses"` // asserted == 1
+		Coalesced   int64 `json:"coalesced"`
+		HotHits     int64 `json:"hot_hits"`
+	} `json:"singleflight"`
+
+	// HotCache: a hot hit (no snapshot decode, no disk) against the cold
+	// analysis of the same image. Speedup asserted >= 50.
+	HotCache struct {
+		ColdNS    int64   `json:"cold_ns"`
+		HotP50NS  int64   `json:"hot_p50_ns"`
+		HotP99NS  int64   `json:"hot_p99_ns"`
+		Samples   int     `json:"samples"`
+		Speedup   float64 `json:"speedup"`
+		MinWanted float64 `json:"min_wanted"`
+	} `json:"hot_cache"`
+
+	// Isolation: interactive hot-path p50 with the batch queue idle vs
+	// under a cold batch backlog. Loaded p50 asserted under one cold
+	// analysis time — interactive latency must not degrade to batch
+	// latency just because batch work is queued.
+	Isolation struct {
+		IdlP50NS     int64   `json:"idle_p50_ns"`
+		LoadedP50NS  int64   `json:"loaded_p50_ns"`
+		LoadedMaxNS  int64   `json:"loaded_max_ns"`
+		Samples      int     `json:"samples"`
+		BatchBacklog int     `json:"batch_backlog"`
+		BatchColdNS  int64   `json:"batch_cold_ns"`
+		Ratio        float64 `json:"ratio"`
+	} `json:"isolation"`
+
+	DrainNS int64 `json:"drain_ns"`
+}
+
+// serveImage compiles one synthetic program to wire bytes. Deep trees
+// with high idiom repetition maximize analysis work per wire byte, which
+// keeps the hot-path comparison about the daemon (a hot hit's cost is
+// bounded by upload + digest, so a bloated image would flatter neither
+// side).
+func serveImage(seed int64, families int) []byte {
+	p := synth.DefaultParams(seed)
+	p.Families = families
+	p.MaxDepth = 6
+	p.UseReps = 8
+	prog, _ := synth.Generate(p)
+	img, err := compiler.Compile(prog, compiler.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	data, err := img.Marshal()
+	if err != nil {
+		fatal(err)
+	}
+	return data
+}
+
+// runServe benchmarks the rockd serving paths end to end: it starts a
+// real daemon on a loopback listener, drives it over HTTP, and fatally
+// asserts the three properties the daemon exists for (singleflight
+// dedupe, hot-cache speedup, interactive isolation) before writing the
+// record. See the serveReport fields for the individual claims.
+func runServe(jsonPath string) {
+	fmt.Println("== rockd serving paths: singleflight, hot cache, admission isolation ==")
+	cacheDir, err := os.MkdirTemp("", "rockbench-serve-")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(cacheDir)
+
+	// Depth-3 models over a longer window make the cold analysis
+	// representative of a hard configuration; the hot path's cost is
+	// payload-bound and does not change, so the contrast is honest in
+	// both directions.
+	srv, err := rockd.New(rockd.Config{
+		Analysis: rock.Options{Workers: shared.Workers, CacheDir: cacheDir, SLMDepth: 3, Window: 32},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 128}}
+
+	rep := &serveReport{Schema: ServeSchema, GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: srv.Workers()}
+
+	post := func(body []byte, query string) (int64, int) {
+		t0 := time.Now()
+		resp, err := client.Post(base+"/v1/analyze"+query, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			fatal(err)
+		}
+		// Drain so the keep-alive connection is reused — the benchmark
+		// measures the daemon, not TCP handshakes.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return time.Since(t0).Nanoseconds(), resp.StatusCode
+	}
+	analyses := func() int64 {
+		m := srv.Metrics()
+		return m.AnalysesCold + m.AnalysesWarm + m.AnalysesIncremental
+	}
+
+	// --- Hot cache: cold analysis once, then the hot path. -------------
+	hotImg := serveImage(1, 6)
+	coldNS, code := post(hotImg, "")
+	if code != http.StatusOK {
+		fatal(fmt.Errorf("cold reference request: HTTP %d", code))
+	}
+	const hotSamples = 200
+	hot := make([]int64, hotSamples)
+	for i := range hot {
+		hot[i], code = post(hotImg, "")
+		if code != http.StatusOK {
+			fatal(fmt.Errorf("hot request: HTTP %d", code))
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i] < hot[j] })
+	rep.HotCache.ColdNS = coldNS
+	rep.HotCache.HotP50NS = hot[hotSamples/2]
+	rep.HotCache.HotP99NS = hot[hotSamples*99/100]
+	rep.HotCache.Samples = hotSamples
+	rep.HotCache.Speedup = float64(coldNS) / float64(rep.HotCache.HotP50NS)
+	rep.HotCache.MinWanted = 50
+	fmt.Printf("  hot cache: cold %s, hot p50 %s (%.0fx, p99 %s)\n",
+		time.Duration(coldNS), time.Duration(rep.HotCache.HotP50NS),
+		rep.HotCache.Speedup, time.Duration(rep.HotCache.HotP99NS))
+	if rep.HotCache.Speedup < rep.HotCache.MinWanted {
+		fatal(fmt.Errorf("hot-cache speedup %.1fx below the %.0fx floor", rep.HotCache.Speedup, rep.HotCache.MinWanted))
+	}
+
+	// --- Singleflight: 100 concurrent identical submissions. -----------
+	sfImg := serveImage(2, 6)
+	before := analyses()
+	const concurrent = 100
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, code := post(sfImg, ""); code != http.StatusOK {
+				fatal(fmt.Errorf("singleflight request: HTTP %d", code))
+			}
+		}()
+	}
+	wg.Wait()
+	m := srv.Metrics()
+	rep.Singleflight.Submissions = concurrent
+	rep.Singleflight.Analyses = analyses() - before
+	rep.Singleflight.Coalesced = m.Coalesced
+	rep.Singleflight.HotHits = m.HotHits
+	fmt.Printf("  singleflight: %d concurrent identical submissions -> %d analysis (%d coalesced)\n",
+		concurrent, rep.Singleflight.Analyses, rep.Singleflight.Coalesced)
+	if rep.Singleflight.Analyses != 1 {
+		fatal(fmt.Errorf("singleflight ran %d analyses for %d identical submissions, want exactly 1",
+			rep.Singleflight.Analyses, concurrent))
+	}
+
+	// --- Isolation: interactive hot path under a cold batch backlog. ---
+	// Idle baseline: the interactive image is hot, the batch queue empty.
+	const isoSamples = 60
+	idle := make([]int64, isoSamples)
+	for i := range idle {
+		idle[i], _ = post(hotImg, "?class=interactive")
+	}
+	sort.Slice(idle, func(i, j int) bool { return idle[i] < idle[j] })
+	// Backlog: distinct cold images submitted async as batch.
+	const backlog = 6
+	tb := time.Now()
+	for i := 0; i < backlog; i++ {
+		resp, err := client.Post(base+"/v1/submit?class=batch", "application/octet-stream",
+			bytes.NewReader(serveImage(100+int64(i), 4)))
+		if err != nil {
+			fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			fatal(fmt.Errorf("batch submit: HTTP %d", resp.StatusCode))
+		}
+	}
+	loaded := make([]int64, 0, isoSamples)
+	var loadedMax int64
+	for len(loaded) < isoSamples && srv.Metrics().InFlight > 0 {
+		ns, code := post(hotImg, "?class=interactive")
+		if code != http.StatusOK {
+			fatal(fmt.Errorf("loaded interactive request: HTTP %d", code))
+		}
+		loaded = append(loaded, ns)
+		if ns > loadedMax {
+			loadedMax = ns
+		}
+	}
+	if len(loaded) == 0 {
+		fatal(fmt.Errorf("batch backlog drained before any loaded sample was taken"))
+	}
+	// Let the backlog drain off the clock so drain timing below is clean.
+	for srv.Metrics().InFlight > 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	batchColdNS := time.Since(tb).Nanoseconds() / backlog
+	sort.Slice(loaded, func(i, j int) bool { return loaded[i] < loaded[j] })
+	rep.Isolation.IdlP50NS = idle[len(idle)/2]
+	rep.Isolation.LoadedP50NS = loaded[len(loaded)/2]
+	rep.Isolation.LoadedMaxNS = loadedMax
+	rep.Isolation.Samples = len(loaded)
+	rep.Isolation.BatchBacklog = backlog
+	rep.Isolation.BatchColdNS = batchColdNS
+	rep.Isolation.Ratio = float64(rep.Isolation.LoadedP50NS) / float64(rep.Isolation.IdlP50NS)
+	fmt.Printf("  isolation: interactive hot p50 idle %s, loaded %s (%.1fx) under %d-image batch backlog (avg cold %s)\n",
+		time.Duration(rep.Isolation.IdlP50NS), time.Duration(rep.Isolation.LoadedP50NS),
+		rep.Isolation.Ratio, backlog, time.Duration(batchColdNS))
+	// The robust claim (single-core CI machines cannot promise a flat
+	// p50): a loaded interactive hot hit must stay far under the cost of
+	// one cold analysis — i.e. interactive requests never queue behind
+	// the batch backlog.
+	if rep.Isolation.LoadedP50NS >= coldNS {
+		fatal(fmt.Errorf("loaded interactive p50 %s reached cold-analysis territory (%s) — batch backlog starved the interactive class",
+			time.Duration(rep.Isolation.LoadedP50NS), time.Duration(coldNS)))
+	}
+
+	// --- Graceful drain. ------------------------------------------------
+	td := time.Now()
+	cancel()
+	if err := <-served; err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	rep.DrainNS = time.Since(td).Nanoseconds()
+	fmt.Printf("  drained in %s\n", time.Duration(rep.DrainNS))
+
+	writeJSON(jsonPath, rep)
+}

@@ -6,9 +6,12 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 )
@@ -73,6 +76,15 @@ func (f *Flags) Apply(cfg *core.Config) error {
 	cfg.Invalidate = inv
 	cfg.IncrementalFrom = f.IncrFrom
 	return nil
+}
+
+// WithSignals derives a context canceled on SIGINT or SIGTERM, so every
+// CLI and the daemon share one interruption convention: first signal
+// cancels the context (analyses drain through their cancellation paths),
+// a second signal kills the process via the default handler. The
+// returned stop restores default signal behavior.
+func WithSignals(parent context.Context) (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 }
 
 // Fatal reports a runtime failure as "prog: err" on stderr and exits

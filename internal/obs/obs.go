@@ -148,6 +148,10 @@ type StageStats struct {
 	Allocs     uint64 `json:"allocs"`
 	// Failed reports the stage returned an error.
 	Failed bool `json:"failed,omitempty"`
+	// Count is the number of per-analysis records folded into this one.
+	// Zero on a single analysis's report; Merge sets it on aggregates
+	// (treating a zero source record as one occurrence).
+	Count int64 `json:"count,omitempty"`
 }
 
 // Report is the machine-readable outcome of one observed analysis.
@@ -166,6 +170,15 @@ type Report struct {
 // Bus collects one analysis's observability record. The zero value is
 // ready to use; NewBus stamps the epoch for Total. A nil *Bus is valid
 // and free.
+//
+// A Bus is safe to READ while the analysis it observes is still in
+// flight: counters are atomics, the stage list is mutex-guarded, and
+// Report snapshots both under the lock — so a metrics endpoint may call
+// Report concurrently with the recording goroutines (guarded by
+// TestBusConcurrentReadWhileInFlight under -race). The mid-flight Report
+// is a consistent prefix: stages that finished before the call, counter
+// values at the instant of the call. Trace and Lane are configuration,
+// set before the first recording call and never mutated afterwards.
 type Bus struct {
 	// Trace, when non-nil, receives chrome-tracing spans for the stages
 	// and pool fan-out helpers. Many buses may share one Trace (the corpus
@@ -312,6 +325,64 @@ func (b *Bus) Report() *Report {
 		}
 	}
 	return rep
+}
+
+// Merge folds another report into r, aggregating many analyses into one
+// server-level rollup (the rockd /metrics endpoint merges every finished
+// request plus the mid-flight snapshots of the live ones). Stage records
+// with the same (Name, Section, Status, Failed) coordinates are combined
+// by summing wall time and allocation deltas and counting occurrences in
+// Count; distinct coordinates append in first-seen order. Counters sum by
+// name, Total accumulates, and SnapshotReuse keeps the maximum observed.
+// Merging nil is a no-op. r must not be a live bus's only copy — merge
+// into a fresh &Report{} accumulator.
+func (r *Report) Merge(o *Report) {
+	if o == nil {
+		return
+	}
+	r.Total += o.Total
+	if o.SnapshotReuse > r.SnapshotReuse {
+		r.SnapshotReuse = o.SnapshotReuse
+	}
+	type coord struct {
+		name, section string
+		status        StageStatus
+		failed        bool
+	}
+	idx := make(map[coord]int, len(r.Stages))
+	for i, st := range r.Stages {
+		idx[coord{st.Name, st.Section, st.Status, st.Failed}] = i
+	}
+	for _, st := range o.Stages {
+		c := coord{st.Name, st.Section, st.Status, st.Failed}
+		i, ok := idx[c]
+		if !ok {
+			if st.Count == 0 {
+				st.Count = 1
+			}
+			idx[c] = len(r.Stages)
+			r.Stages = append(r.Stages, st)
+			continue
+		}
+		dst := &r.Stages[i]
+		if dst.Count == 0 {
+			dst.Count = 1
+		}
+		n := st.Count
+		if n == 0 {
+			n = 1
+		}
+		dst.Count += n
+		dst.Wall += st.Wall
+		dst.AllocBytes += st.AllocBytes
+		dst.Allocs += st.Allocs
+	}
+	if len(o.Counters) > 0 && r.Counters == nil {
+		r.Counters = map[string]int64{}
+	}
+	for n, v := range o.Counters {
+		r.Counters[n] += v
+	}
 }
 
 // Table renders the report as the -stats text table: one row per stage

@@ -1,0 +1,98 @@
+package rockd
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Class is a submission's admission class. Interactive traffic gets its
+// own slots and queue so a deep batch backlog can never starve it; batch
+// traffic gets fewer concurrent slots and a deeper queue — throughput
+// over latency.
+type Class string
+
+// Admission classes.
+const (
+	ClassInteractive Class = "interactive"
+	ClassBatch       Class = "batch"
+)
+
+// ParseClass maps the wire spelling to a Class ("" defaults to
+// interactive).
+func ParseClass(s string) (Class, error) {
+	switch s {
+	case "", "interactive":
+		return ClassInteractive, nil
+	case "batch":
+		return ClassBatch, nil
+	}
+	return "", errors.New("unknown class (want interactive or batch)")
+}
+
+// errQueueFull rejects a submission whose class queue is at depth — the
+// backpressure signal (HTTP 429). Rejecting at admission keeps the
+// daemon's memory bounded under overload instead of queueing without
+// limit.
+var errQueueFull = errors.New("rockd: class queue full")
+
+// classQueue is one admission class: a slot semaphore bounding how many
+// of the class's analyses run concurrently, and a depth bound on how many
+// may wait for a slot.
+type classQueue struct {
+	class Class
+	slots chan struct{}
+	depth int64
+
+	queued   atomic.Int64
+	running  atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
+	// waitNS accumulates queue wait for the class (admitted requests).
+	waitNS atomic.Int64
+}
+
+func newClassQueue(class Class, slots int, depth int) *classQueue {
+	return &classQueue{
+		class: class,
+		slots: make(chan struct{}, slots),
+		depth: int64(depth),
+	}
+}
+
+// admit blocks until the class grants a slot, the queue is full (an
+// immediate errQueueFull), or ctx is canceled. On success the returned
+// release func must be called when the analysis finishes.
+func (q *classQueue) admit(ctx context.Context) (release func(), wait time.Duration, err error) {
+	// Fast path: a free slot skips the queue-depth accounting entirely.
+	select {
+	case q.slots <- struct{}{}:
+		q.admitted.Add(1)
+		q.running.Add(1)
+		return q.release, 0, nil
+	default:
+	}
+	if q.queued.Add(1) > q.depth {
+		q.queued.Add(-1)
+		q.rejected.Add(1)
+		return nil, 0, errQueueFull
+	}
+	t0 := time.Now()
+	defer q.queued.Add(-1)
+	select {
+	case q.slots <- struct{}{}:
+		wait = time.Since(t0)
+		q.waitNS.Add(wait.Nanoseconds())
+		q.admitted.Add(1)
+		q.running.Add(1)
+		return q.release, wait, nil
+	case <-ctx.Done():
+		return nil, time.Since(t0), ctx.Err()
+	}
+}
+
+func (q *classQueue) release() {
+	q.running.Add(-1)
+	<-q.slots
+}

@@ -1,0 +1,101 @@
+package rockd
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// hotEntry is one finished analysis held in memory: the response payload
+// pre-marshaled to JSON, so a hot hit is a map lookup plus a buffer write
+// — no snapshot decode, no disk, no re-encoding. Entries also back the
+// async poll endpoint (a submitted job's result is read from here).
+type hotEntry struct {
+	digest [32]byte
+	// report and stats are the marshaled rock.Report and obs.Report of
+	// the producing run (stats may be nil).
+	report json.RawMessage
+	stats  json.RawMessage
+	// source records how the producing analysis ran: "cold", "warm"
+	// (snapshot restore), or "incremental" (version-diff lane).
+	source string
+	// analysisNS is the producing run's server-side analysis wall time —
+	// what a hot hit saves.
+	analysisNS int64
+
+	size int64
+	elem *list.Element
+}
+
+// hotEntryOverhead approximates the bookkeeping bytes an entry costs
+// beyond its payload (map slot, list element, struct).
+const hotEntryOverhead = 256
+
+// hotCache is the bounded in-memory result cache: LRU by payload bytes.
+// It sits above the on-disk snapshot store — an eviction only costs the
+// next submission a snapshot decode (the warm lane), never a re-analysis.
+type hotCache struct {
+	mu        sync.Mutex
+	capacity  int64
+	bytes     int64
+	entries   map[[32]byte]*hotEntry
+	lru       *list.List // front = most recently used
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+func newHotCache(capacity int64) *hotCache {
+	return &hotCache{
+		capacity: capacity,
+		entries:  map[[32]byte]*hotEntry{},
+		lru:      list.New(),
+	}
+}
+
+// get returns the cached entry for a digest, bumping its recency, or nil.
+func (c *hotCache) get(digest [32]byte) *hotEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[digest]
+	if !ok {
+		c.misses++
+		return nil
+	}
+	c.hits++
+	c.lru.MoveToFront(e.elem)
+	return e
+}
+
+// put inserts (or replaces) an entry and evicts from the LRU tail until
+// the cache fits its capacity. An entry larger than the whole capacity is
+// admitted alone and evicted by the next insert — the cache never rejects
+// a fresh result outright.
+func (c *hotCache) put(e *hotEntry) {
+	e.size = int64(len(e.report)) + int64(len(e.stats)) + hotEntryOverhead
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[e.digest]; ok {
+		c.bytes -= old.size
+		c.lru.Remove(old.elem)
+		delete(c.entries, e.digest)
+	}
+	e.elem = c.lru.PushFront(e)
+	c.entries[e.digest] = e
+	c.bytes += e.size
+	for c.bytes > c.capacity && c.lru.Len() > 1 {
+		tail := c.lru.Back()
+		victim := tail.Value.(*hotEntry)
+		c.lru.Remove(tail)
+		delete(c.entries, victim.digest)
+		c.bytes -= victim.size
+		c.evictions++
+	}
+}
+
+// stats snapshots the cache gauges for /metrics.
+func (c *hotCache) stats() (entries int, bytes, capacity, hits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.bytes, c.capacity, c.hits, c.misses, c.evictions
+}

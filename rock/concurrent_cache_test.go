@@ -1,0 +1,73 @@
+package rock
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAnalyzeSharedCacheDir: N goroutines analyzing the SAME
+// binary against ONE cache directory — the daemon's steady state, and
+// what happens when several CLI invocations share a -cache. Every
+// analysis must succeed with an identical report, the directory must end
+// up with exactly one readable snapshot for the image, and no .rsnap-*
+// temp files may survive the races.
+func TestConcurrentAnalyzeSharedCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	bin := motivatingBinary(t)
+	opts := Options{Workers: 2, CacheDir: dir}
+
+	const n = 8
+	var wg sync.WaitGroup
+	reports := make([]*Report, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = Analyze(bin, opts)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		reports[i].Stats = nil // wall times differ run to run
+		if !reflect.DeepEqual(reports[i].Types, reports[0].Types) ||
+			!reflect.DeepEqual(reports[i].Edges, reports[0].Edges) ||
+			!reflect.DeepEqual(reports[i].Families, reports[0].Families) {
+			t.Fatalf("goroutine %d diverged from goroutine 0", i)
+		}
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".rsnap-") {
+			t.Fatalf("leftover temp file %s after racing analyses", e.Name())
+		}
+		if filepath.Ext(e.Name()) == ".rsnap" {
+			snaps++
+		}
+	}
+	if snaps != 1 {
+		t.Fatalf("%d snapshots for one image, want 1", snaps)
+	}
+
+	// The survivors' snapshot is warm for the next analysis.
+	rep, err := Analyze(bin, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SnapshotReuse == 0 {
+		t.Fatal("post-race analysis did not reuse the snapshot")
+	}
+}

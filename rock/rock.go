@@ -20,6 +20,7 @@
 package rock
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -144,6 +145,14 @@ type Report struct {
 	// GroundTruthEdges holds the metadata hierarchy when the input image
 	// carried one (for the caller's convenience; never used by analysis).
 	GroundTruthEdges []Edge
+	// SnapshotReuse reports how much of a cached snapshot this run reused
+	// (snapshot reuse levels 0..3; 3 means fully warm — the whole analysis
+	// was restored from disk). Always 0 without a CacheDir.
+	SnapshotReuse int
+	// Incremental reports that the version-diff warm lane engaged: the
+	// exact snapshot missed but a prior version of the same binary was
+	// diffed against, reusing unchanged functions, models, and families.
+	Incremental bool
 	// Stats is the observability record of this analysis — per-stage wall
 	// times, cache attribution, and domain counters. Nil unless
 	// Options.Observer was set.
@@ -154,11 +163,18 @@ type Report struct {
 
 // Analyze loads a serialized image and reconstructs its class hierarchy.
 func Analyze(binary []byte, opts Options) (*Report, error) {
+	return AnalyzeContext(context.Background(), binary, opts)
+}
+
+// AnalyzeContext is Analyze with cancellation: when ctx is canceled the
+// in-flight stages drain and the analysis returns ctx.Err() promptly
+// without writing a snapshot.
+func AnalyzeContext(ctx context.Context, binary []byte, opts Options) (*Report, error) {
 	img, err := image.Load(binary)
 	if err != nil {
 		return nil, err
 	}
-	return AnalyzeImage(img, opts)
+	return AnalyzeImageContext(ctx, img, opts)
 }
 
 // config translates the public Options into a pipeline configuration.
@@ -198,6 +214,12 @@ func config(opts Options) (core.Config, error) {
 // AnalyzeImage analyzes an already-loaded image. Metadata, if present, is
 // stripped before analysis and used only to decorate the report.
 func AnalyzeImage(img *image.Image, opts Options) (*Report, error) {
+	return AnalyzeImageContext(context.Background(), img, opts)
+}
+
+// AnalyzeImageContext is AnalyzeImage with cancellation (see
+// AnalyzeContext).
+func AnalyzeImageContext(ctx context.Context, img *image.Image, opts Options) (*Report, error) {
 	meta := img.Meta
 	stripped := img
 	if meta != nil {
@@ -207,7 +229,7 @@ func AnalyzeImage(img *image.Image, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Analyze(stripped, cfg)
+	res, err := core.AnalyzeContext(ctx, stripped, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -222,6 +244,8 @@ func buildReport(res *core.Result, meta *image.Metadata) *Report {
 		PossibleParents:      map[uint64][]uint64{},
 		MultiParents:         map[uint64][]uint64{},
 		StructurallyResolved: res.Structural.Resolvable(),
+		SnapshotReuse:        res.SnapshotReuse,
+		Incremental:          res.Incremental != nil,
 		names:                map[uint64]string{},
 	}
 	namer := core.TypeNamer(meta)
