@@ -5,6 +5,7 @@
 //
 //	rock [-metric kl|js-divergence|js-distance] [-depth D] [-window W]
 //	     [-workers N] [-cache DIR] [-invalidate LEVEL] [-incr-from SNAP]
+//	     [-evidence slm,subtype] [-fuse-weights slm=1,subtype=5]
 //	     [-structural-only] [-dense-dist] [-stats] [-trace FILE] [-v] image.rbin
 //	rock -corpus DIR [flags]
 //
@@ -34,6 +35,15 @@
 // identical to a cold run either way. -stats shows the reuse as the
 // fn_digest_hit/fn_digest_miss, types_retrained, and families_resolved
 // counters.
+//
+// With -evidence, additional edge-evidence providers are fused into the
+// hierarchy solve: "slm" is the paper's behavioral divergence sweep,
+// "subtype" a constraint-based structural subtyping scorer (vtable-slot
+// overlap, construction install flow, parent-method calls) that holds up
+// on binaries whose behavioral evidence was erased by devirtualization,
+// COMDAT folding, or ctor inlining. -fuse-weights overrides the weighted
+// ensemble, e.g. -fuse-weights slm=1,subtype=5; with -stats each
+// provider reports its own evidence:NAME stage row.
 //
 // -stats prints the per-stage observability table after the analysis:
 // wall time, allocation estimates, and cache-hit attribution (stages
@@ -86,6 +96,8 @@ func main() {
 		CacheDir:        shared.CacheDir,
 		Invalidate:      shared.Invalidate,
 		IncrementalFrom: shared.IncrFrom,
+		Evidence:        shared.Evidence,
+		FuseWeights:     shared.FuseWeights,
 		StructuralOnly:  *structuralOnly,
 		DenseDistances:  *denseDist,
 	}

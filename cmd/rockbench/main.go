@@ -38,6 +38,15 @@
 //	                        writes the report (e.g. ACC_synth.json) and
 //	                        -floors FILE gates it against checked-in
 //	                        accuracy floors (non-zero exit on regression)
+//	rockbench -fusion       evidence fusion: rerun the adversarial grid with
+//	                        the subtype provider fused into the SLM sweep,
+//	                        pair the per-config scores against SLM-only
+//	                        (-json FILE writes ACC_fusion.json), and measure
+//	                        the fused sweep's overhead with per-provider
+//	                        attribution on the largest benchmark
+//	                        (-fusion-bench FILE writes BENCH_fusion.json);
+//	                        -floors FILE additionally gates both halves
+//	                        against the checked-in v2 accuracy floors
 //	rockbench -incr         incremental re-analysis: a deep synthetic binary
 //	                        is analyzed once to persist its snapshot, then
 //	                        re-linked with -patches functions modified
@@ -62,8 +71,8 @@
 //	rockbench -all          everything above except -emit
 //
 // Each mode lives in its own file (paper.go, pipeline.go, slm.go,
-// snapshot.go, corpus.go, synth.go, incr.go, serve.go) over the shared
-// harness in harness.go.
+// snapshot.go, corpus.go, synth.go, fusion.go, incr.go, serve.go) over
+// the shared harness in harness.go.
 //
 // The global -workers flag bounds the analysis worker pool in every mode
 // (0 = all CPUs, 1 = serial), and -cache/-invalidate thread the snapshot
@@ -112,7 +121,9 @@ func main() {
 	snapBench := flag.Bool("snapshot", false, "measure cold vs warm analysis through the snapshot cache")
 	corpusBench := flag.Bool("corpus", false, "measure the corpus batch engine against a sequential per-image loop")
 	synthGrid := flag.Bool("synth", false, "run the adversarial accuracy grid and score reconstruction per edge")
-	floors := flag.String("floors", "", "with -synth: compare the report against this accuracy-floors JSON file and exit non-zero on regression")
+	fusionMode := flag.Bool("fusion", false, "rerun the adversarial grid with the subtype evidence provider fused in, compare against SLM-only, and measure the overhead")
+	fusionBenchOut := flag.String("fusion-bench", "", "with -fusion: write the timing artifact to this JSON file (e.g. BENCH_fusion.json)")
+	floors := flag.String("floors", "", "with -synth or -fusion: compare the report against this accuracy-floors JSON file and exit non-zero on regression")
 	incrBench := flag.Bool("incr", false, "measure incremental re-analysis of a patched binary against a prior snapshot vs from scratch")
 	serveBench := flag.Bool("serve", false, "load-generate against an in-process rockd daemon and assert its serving-path claims (singleflight, hot cache, admission isolation)")
 	patches := flag.String("patches", "1,5,25", "with -incr: comma-separated patch sizes (functions modified per case)")
@@ -127,19 +138,22 @@ func main() {
 		cliutil.Usage("rockbench", err.Error())
 	}
 	if *all {
-		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid, *incrBench, *serveBench = true, true, true, true, true, true, true, true, true, true, true, true, true
+		*table2, *motivating, *slmdump, *fig9, *metrics, *scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid, *fusionMode, *incrBench, *serveBench = true, true, true, true, true, true, true, true, true, true, true, true, true, true
 	}
 	jsonModes := 0
-	for _, on := range []bool{*scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid, *incrBench, *serveBench} {
+	for _, on := range []bool{*scale, *pipeline, *slmBench, *snapBench, *corpusBench, *synthGrid, *fusionMode, *incrBench, *serveBench} {
 		if on {
 			jsonModes++
 		}
 	}
 	if *jsonOut != "" && jsonModes > 1 && !*all {
-		cliutil.Usage("rockbench", "-json names a single output file; run -scale, -pipeline, -slm, -snapshot, -corpus, -synth, -incr, and -serve separately")
+		cliutil.Usage("rockbench", "-json names a single output file; run -scale, -pipeline, -slm, -snapshot, -corpus, -synth, -fusion, -incr, and -serve separately")
 	}
-	if *floors != "" && !*synthGrid {
-		cliutil.Usage("rockbench", "-floors requires -synth")
+	if *floors != "" && !*synthGrid && !*fusionMode {
+		cliutil.Usage("rockbench", "-floors requires -synth or -fusion")
+	}
+	if *fusionBenchOut != "" && !*fusionMode {
+		cliutil.Usage("rockbench", "-fusion-bench requires -fusion")
 	}
 	if *patches != "1,5,25" && !*incrBench {
 		cliutil.Usage("rockbench", "-patches requires -incr")
@@ -233,10 +247,18 @@ func main() {
 		}
 		runSynth(jp, *floors)
 	}
-	if *incrBench {
+	if *fusionMode {
 		ran = true
 		jp := *jsonOut
 		if *scale || *pipeline || *slmBench || *snapBench || *corpusBench || *synthGrid {
+			jp = "" // -all: the single -json path belongs to an earlier mode
+		}
+		runFusion(jp, *fusionBenchOut, *floors)
+	}
+	if *incrBench {
+		ran = true
+		jp := *jsonOut
+		if *scale || *pipeline || *slmBench || *snapBench || *corpusBench || *synthGrid || *fusionMode {
 			jp = "" // -all: the single -json path belongs to an earlier mode
 		}
 		runIncrBench(jp, *patches)
@@ -244,7 +266,7 @@ func main() {
 	if *serveBench {
 		ran = true
 		jp := *jsonOut
-		if *scale || *pipeline || *slmBench || *snapBench || *corpusBench || *synthGrid || *incrBench {
+		if *scale || *pipeline || *slmBench || *snapBench || *corpusBench || *synthGrid || *fusionMode || *incrBench {
 			jp = "" // -all: the single -json path belongs to an earlier mode
 		}
 		runServe(jp)

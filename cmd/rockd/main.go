@@ -6,7 +6,9 @@
 //
 //	rockd [-listen ADDR] [-metric kl|js-divergence|js-distance]
 //	      [-depth D] [-window W] [-workers N] [-cache DIR]
-//	      [-invalidate LEVEL] [-hot-cache-mb MB] [-max-body-mb MB]
+//	      [-invalidate LEVEL] [-evidence slm,subtype]
+//	      [-fuse-weights slm=1,subtype=5]
+//	      [-hot-cache-mb MB] [-max-body-mb MB]
 //	      [-interactive-slots N] [-interactive-queue N]
 //	      [-batch-slots N] [-batch-queue N] [-drain SECONDS]
 //
@@ -64,12 +66,14 @@ func main() {
 
 	srv, err := rockd.New(rockd.Config{
 		Analysis: rock.Options{
-			Metric:     *metric,
-			SLMDepth:   *depth,
-			Window:     *window,
-			Workers:    shared.Workers,
-			CacheDir:   shared.CacheDir,
-			Invalidate: shared.Invalidate,
+			Metric:      *metric,
+			SLMDepth:    *depth,
+			Window:      *window,
+			Workers:     shared.Workers,
+			CacheDir:    shared.CacheDir,
+			Invalidate:  shared.Invalidate,
+			Evidence:    shared.Evidence,
+			FuseWeights: shared.FuseWeights,
 			// IncrementalFrom stays empty: the daemon analyzes many
 			// different binaries, so priors are auto-discovered per image
 			// from the cache directory's NameHash index.

@@ -6,6 +6,13 @@
 // The package also enumerates co-optimal arborescences and implements the
 // paper's majority-vote heuristic for reducing them ("Handling Multiple
 // Arborescences").
+//
+// The solver is agnostic to where the edge weights come from: by default
+// they are the SLM KL divergences, but under a fused evidence
+// configuration (internal/evidence) each weight is a weighted sum of
+// several providers' scores. Root edges must still dominate — every
+// provider's Root score bounds its edge scores, so any positive-weighted
+// combination preserves Heuristic 4.1.
 package arborescence
 
 import (

@@ -14,6 +14,7 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/evidence"
 )
 
 // Exit codes. Usage problems (bad flags, wrong arity) and runtime
@@ -36,6 +37,12 @@ type Flags struct {
 	// IncrFrom names a prior version's snapshot to diff the analysis
 	// against ("" = auto-discover in the cache directory).
 	IncrFrom string
+	// Evidence is the comma-separated evidence-provider list ("" = the
+	// default SLM-only configuration), e.g. "slm,subtype".
+	Evidence string
+	// FuseWeights is the comma-separated per-provider fusion weight
+	// override list, e.g. "slm=1,subtype=5" ("" = defaults).
+	FuseWeights string
 }
 
 // Register installs the shared flags on fs and returns their destination.
@@ -46,15 +53,23 @@ func Register(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.CacheDir, "cache", "", "snapshot cache directory (created if missing); repeat analyses of the same binary reuse cached stages")
 	fs.StringVar(&f.Invalidate, "invalidate", "none", "snapshot reuse cap: none, hierarchy, models, or all")
 	fs.StringVar(&f.IncrFrom, "incr-from", "", "prior version's snapshot (.rsnap) to diff against for incremental re-analysis; with -cache, priors are auto-discovered")
+	fs.StringVar(&f.Evidence, "evidence", "", "comma-separated edge-evidence providers to fuse: slm, subtype (default: slm alone)")
+	fs.StringVar(&f.FuseWeights, "fuse-weights", "", "per-provider fusion weight overrides, e.g. slm=1,subtype=5")
 	return f
 }
 
-// Resolve validates the parsed flags: the invalidation spelling must
-// parse, and a requested cache directory is created. It returns the
-// parsed invalidation level.
+// Resolve validates the parsed flags: the invalidation, evidence, and
+// fusion-weight spellings must parse, and a requested cache directory is
+// created. It returns the parsed invalidation level.
 func (f *Flags) Resolve() (core.Invalidate, error) {
 	inv, err := core.ParseInvalidate(f.Invalidate)
 	if err != nil {
+		return 0, err
+	}
+	if _, err := evidence.ParseNames(f.Evidence); err != nil {
+		return 0, err
+	}
+	if _, err := evidence.ParseWeights(f.FuseWeights); err != nil {
 		return 0, err
 	}
 	if f.CacheDir != "" {
@@ -75,6 +90,8 @@ func (f *Flags) Apply(cfg *core.Config) error {
 	cfg.CacheDir = f.CacheDir
 	cfg.Invalidate = inv
 	cfg.IncrementalFrom = f.IncrFrom
+	cfg.Evidence, _ = evidence.ParseNames(f.Evidence)
+	cfg.FuseWeights, _ = evidence.ParseWeights(f.FuseWeights)
 	return nil
 }
 

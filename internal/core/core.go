@@ -20,13 +20,17 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/arborescence"
+	"repro/internal/evidence"
 	"repro/internal/hierarchy"
 	"repro/internal/image"
 	"repro/internal/ir"
 	"repro/internal/objtrace"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/pool"
 	"repro/internal/slm"
 	"repro/internal/snapshot"
@@ -53,6 +57,21 @@ type Config struct {
 	// largest pairwise distance in a family; it must exceed 1 so that being
 	// a derived type is always preferred (Heuristic 4.1).
 	RootWeightFactor float64
+	// Evidence selects the edge-evidence providers whose scores the
+	// hierarchy solve fuses, in fusion order (see internal/evidence). Nil
+	// or empty selects the paper's configuration: the SLM/KL behavioral
+	// sweep alone. Every name must be evidence.Known and appear once;
+	// "slm" requires UseSLM. Non-default provider sets change the
+	// hierarchy-section snapshot fingerprint (and only that section).
+	Evidence []string
+	// FuseWeights overrides the per-provider fusion weights by name.
+	// Providers absent from the map keep their defaults (slm: 1, subtype:
+	// subtype.DefaultWeight). Weights must be finite and non-negative,
+	// may only name enabled providers, and at least one must be nonzero.
+	// With exactly one nonzero weight equal to 1 the fusion is an exact
+	// passthrough of that provider — {slm: 1, subtype: 0} is bit-identical
+	// to the pure-SLM pipeline.
+	FuseWeights map[string]float64
 	// DenseDist restores the full n×n per-family distance sweep: every
 	// family-internal ordered pair is reduced into Result.Dist and the
 	// virtual-root weight derives from the exact dense maximum. By default
@@ -63,7 +82,8 @@ type Config struct {
 	// family costs Θ(n + |admissible|) reductions instead of Θ(n²). Dist
 	// entries present in both modes are bit-identical; enable dense only
 	// for reporting that needs the full matrix (e.g. rockbench
-	// -motivating prints every pairwise DKL).
+	// -motivating prints every pairwise DKL). Dense mode is an SLM
+	// reporting format, so it requires the default evidence configuration.
 	DenseDist bool
 	// EnumLimit caps the number of co-optimal arborescences enumerated per
 	// family.
@@ -271,6 +291,23 @@ type Result struct {
 	// licenses copying their prior TypeKeys without re-hashing. Nil means
 	// no delta information: every type must be treated as affected.
 	affected map[uint64]bool
+	// providers are the constructed evidence backends, in fusion order,
+	// with provWeights their parallel fusion weights (built by the
+	// evidence stage; see evidence.go).
+	providers   []evidence.Provider
+	provWeights []float64
+	// provStats accumulates per-provider wall/alloc attribution across
+	// the concurrent family fan-out (observed runs only), folded into one
+	// stage row per provider after the hierarchy stage.
+	provMu    sync.Mutex
+	provStats []provStat
+}
+
+// provStat is one provider's accumulated score-sweep attribution.
+type provStat struct {
+	wall               time.Duration
+	allocBytes, allocs uint64
+	families           int64
 }
 
 // IncrementalStats attributes the incremental lane's reuse.
@@ -600,7 +637,9 @@ func (r *Result) buildHierarchy(ctx context.Context, cfg Config) error {
 			solving = append(solving, fam...)
 		}
 	}
-	r.buildWordsFor(solving)
+	if cfg.hasSLM() {
+		r.buildWordsFor(solving)
+	}
 	if err := pool.ForEach(ctx, cfg.Pool, cfg.Workers, len(r.Structural.Families), func(i int) {
 		if outs[i] == nil {
 			outs[i] = r.analyzeFamily(ctx, cfg, r.Structural.Families[i])
@@ -608,6 +647,13 @@ func (r *Result) buildHierarchy(ctx context.Context, cfg Config) error {
 	}); err != nil {
 		return err
 	}
+	r.recordProviderStages(cfg)
+	// The providers are stage-local scaffolding; drop them so the Result
+	// does not retain the subtype index or the observation configuration
+	// captured inside the providers (observed and unobserved runs of the
+	// same analysis must stay deep-equal — observation may measure, never
+	// steer).
+	r.providers, r.provWeights, r.provStats = nil, nil, nil
 
 	for i, out := range outs {
 		if out.err != nil {
@@ -626,113 +672,70 @@ func (r *Result) buildHierarchy(ctx context.Context, cfg Config) error {
 	return nil
 }
 
-// Fan-out grains for the chunked family sweeps (pool.ForEachChunk): each
-// claimed range must amortize the shared index counter over enough work
-// without starving workers on small families.
-const (
-	// modelGrain groups word-distribution derivations; a claimed range is
-	// also the batch the multi-model scoring kernel blocks over
-	// (slm.DistanceCalculator.PrecomputeBatch).
-	modelGrain = 8
-	// pairGrain groups admissible-pair divergence reductions.
-	pairGrain = 32
-	// cellGrain groups dense-matrix cells (the DenseDist reporting mode;
-	// diagonal cells are nearly free, so ranges are larger).
-	cellGrain = 256
-)
-
-// analyzeFamily computes one family's candidate distances and solves its
-// arborescence. First each member's word distribution over the family's
-// shared word set is derived exactly once — the DistanceCalculator
-// memoizes per model, and each chunk of models is scored by the blocked
-// multi-model batch kernel. Then the sweep reduces the cached
-// distributions: by default only over the structurally-admissible
-// (parent, child) pairs the arborescence can consume, with the
-// virtual-root weight taken from a cheap upper bound on the dense maximum
-// (PairBound ≥ max distance, so Heuristic 4.1's "root edges are always
-// the worst choice" ordering is preserved); under cfg.DenseDist over all
-// n² ordered pairs with the exact dense maximum. Both sweeps fan out in
-// deterministically-owned chunks, and all model evaluation goes through
-// the frozen flat tries — the allocation-free kernel — which are
-// bit-identical to the builders.
+// analyzeFamily scores one family's candidate edges through the enabled
+// evidence providers, fuses the scores, and solves the arborescence. The
+// admissible (parent, child) pairs are laid out once in the deterministic
+// (family order, candidate order) order; each provider scores that one
+// layout (the SLM provider runs the chunked divergence sweep over the
+// frozen flat tries, the subtype provider reads its constraint index),
+// and evidence.Fuse reduces the score vectors to the edge weights the
+// solve consumes. Under the default configuration the fusion is an exact
+// passthrough of the SLM scores, so the solve input is bit-identical to
+// the pre-provider pipeline.
 func (r *Result) analyzeFamily(ctx context.Context, cfg Config, fam []uint64) *familyOutcome {
 	out := &familyOutcome{fr: FamilyResult{Types: append([]uint64(nil), fam...)}}
 	if len(fam) == 1 {
 		out.fr.Arbs = []map[uint64]uint64{{}}
 		return out
 	}
-	words := r.familyWords(fam)
-	calc := slm.NewDistanceCalculator(cfg.Metric, words)
-	calc.SetScratchPool(cfg.Scratch)
-	calc.SetObserver(cfg.Obs)
 	n := len(fam)
-	calc.Reserve(n)
-	scorers := make([]slm.WordScorer, n)
-	for i, t := range fam {
-		scorers[i] = r.Frozen[t]
-	}
-	if out.err = pool.ForEachChunk(ctx, cfg.Pool, cfg.Workers, n, modelGrain, func(lo, hi int) {
-		calc.PrecomputeBatch(scorers[lo:hi])
-	}); out.err != nil {
-		return out
-	}
 	admissible := 0
 	for _, c := range fam {
 		admissible += len(r.Structural.PossibleParents[c])
 	}
-	var rootW float64
-	if cfg.DenseDist {
-		dists := make([]float64, n*n)
-		if out.err = pool.ForEachChunk(ctx, cfg.Pool, cfg.Workers, n*n, cellGrain, func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				p, c := fam[k/n], fam[k%n]
-				if p == c {
-					continue
-				}
-				dists[k] = calc.Distance(r.Frozen[p], r.Frozen[c])
-			}
-		}); out.err != nil {
+	pairs := make([][2]uint64, 0, admissible)
+	for _, c := range fam {
+		for _, p := range r.Structural.PossibleParents[c] {
+			pairs = append(pairs, [2]uint64{p, c})
+		}
+	}
+	in := &evidence.FamilyInput{Types: out.fr.Types, Pairs: pairs}
+	if cfg.hasSLM() {
+		in.Words = r.familyWords(fam)
+		scorers := make([]slm.WordScorer, n)
+		for i, t := range fam {
+			scorers[i] = r.Frozen[t]
+		}
+		in.Scorers = scorers
+		in.Scorer = func(t uint64) slm.WordScorer { return r.Frozen[t] }
+	}
+	all := make([]*evidence.Scores, len(r.providers))
+	for i, p := range r.providers {
+		var t0 time.Time
+		var bytes0, objs0 uint64
+		if cfg.Obs != nil {
+			bytes0, objs0 = obs.AllocSample()
+			t0 = time.Now()
+		}
+		s, err := p.Score(ctx, in)
+		if err != nil {
+			out.err = err
 			return out
 		}
-		cfg.Obs.Add(obs.CntDistPairs, int64(n*(n-1)))
-		out.dist = make(map[[2]uint64]float64, n*(n-1))
-		maxD := 0.0
-		for k, d := range dists {
-			p, c := fam[k/n], fam[k%n]
-			if p == c {
-				continue
-			}
-			out.dist[[2]uint64{p, c}] = d
-			if d > maxD {
-				maxD = d
-			}
+		if cfg.Obs != nil {
+			r.recordProvider(i, time.Since(t0), bytes0, objs0)
 		}
-		rootW = maxD*cfg.RootWeightFactor + 1
+		all[i] = s
+	}
+	cfg.Obs.Add(obs.CntEvidenceEdges, int64(len(pairs)*len(r.providers)))
+	fused := evidence.Fuse(all, r.provWeights)
+	if fused.Dense != nil {
+		out.dist = fused.Dense
 	} else {
-		// Sparse sweep: reduce only the pairs that can become arborescence
-		// edges, in the deterministic (family order, candidate order) pair
-		// layout.
-		pairs := make([][2]uint64, 0, admissible)
-		for _, c := range fam {
-			for _, p := range r.Structural.PossibleParents[c] {
-				pairs = append(pairs, [2]uint64{p, c})
-			}
-		}
-		dists := make([]float64, len(pairs))
-		if out.err = pool.ForEachChunk(ctx, cfg.Pool, cfg.Workers, len(pairs), pairGrain, func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				dists[k] = calc.Distance(r.Frozen[pairs[k][0]], r.Frozen[pairs[k][1]])
-			}
-		}); out.err != nil {
-			return out
-		}
-		cfg.Obs.Add(obs.CntDistPairs, int64(len(pairs)))
-		cfg.Obs.Add(obs.CntDistPairsPruned, int64(n*(n-1)-len(pairs)))
 		out.dist = make(map[[2]uint64]float64, len(pairs))
 		for k, pc := range pairs {
-			out.dist[pc] = dists[k]
+			out.dist[pc] = fused.Edge[k]
 		}
-		rootW = calc.PairBound(scorers)*cfg.RootWeightFactor + 1
 	}
 	// Graph: node 0 is the virtual root; types follow in family order.
 	nodeOf := map[uint64]int{}
@@ -741,14 +744,12 @@ func (r *Result) analyzeFamily(ctx context.Context, cfg Config, fam []uint64) *f
 	}
 	edges := make([]arborescence.Edge, 0, n+admissible)
 	for i := range fam {
-		edges = append(edges, arborescence.Edge{From: 0, To: i + 1, W: rootW})
+		edges = append(edges, arborescence.Edge{From: 0, To: i + 1, W: fused.Root})
 	}
-	for _, c := range fam {
-		for _, p := range r.Structural.PossibleParents[c] {
-			edges = append(edges, arborescence.Edge{
-				From: nodeOf[p], To: nodeOf[c], W: out.dist[[2]uint64{p, c}],
-			})
-		}
+	for k, pc := range pairs {
+		edges = append(edges, arborescence.Edge{
+			From: nodeOf[pc[0]], To: nodeOf[pc[1]], W: fused.Edge[k],
+		})
 	}
 	arbs, w, truncated, err := arborescence.EnumerateMin(len(fam)+1, 0, edges, cfg.EnumEps, cfg.EnumLimit)
 	if err != nil {
@@ -770,6 +771,49 @@ func (r *Result) analyzeFamily(ctx context.Context, cfg Config, fam []uint64) *f
 		out.fr.Arbs = append(out.fr.Arbs, pm)
 	}
 	return out
+}
+
+// recordProvider folds one provider invocation's wall/alloc deltas into
+// the per-provider aggregate. Families score concurrently, so under
+// parallelism the process-wide allocation gauges attribute estimates,
+// not exact per-provider measurements — the same caveat as the stage
+// records themselves.
+func (r *Result) recordProvider(i int, wall time.Duration, bytes0, objs0 uint64) {
+	bytes1, objs1 := obs.AllocSample()
+	r.provMu.Lock()
+	st := &r.provStats[i]
+	st.wall += wall
+	if bytes1 > bytes0 {
+		st.allocBytes += bytes1 - bytes0
+	}
+	if objs1 > objs0 {
+		st.allocs += objs1 - objs0
+	}
+	st.families++
+	r.provMu.Unlock()
+}
+
+// recordProviderStages emits one aggregate stage row per evidence
+// provider after the family fan-out: Name "evidence:<provider>" in the
+// hierarchy section, with Count carrying how many families the provider
+// scored. The rows flow through obs.Report.Merge like any stage, so
+// rockd's /metrics rollup attributes fleet-level per-provider cost.
+func (r *Result) recordProviderStages(cfg Config) {
+	if cfg.Obs == nil {
+		return
+	}
+	for i, p := range r.providers {
+		st := r.provStats[i]
+		cfg.Obs.StageRecord(obs.StageStats{
+			Name:       "evidence:" + p.Name(),
+			Section:    pipeline.SecHierarchy.Tag(),
+			Status:     obs.StageRan,
+			Wall:       st.wall,
+			AllocBytes: st.allocBytes,
+			Allocs:     st.allocs,
+			Count:      st.families,
+		})
+	}
 }
 
 // chooseMultiParents implements §5.3: a type whose instances received X

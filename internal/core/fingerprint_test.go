@@ -89,6 +89,42 @@ func TestFingerprintCompat(t *testing.T) {
 	}
 }
 
+// TestEvidenceFingerprints pins the fingerprint model of the evidence
+// layer: spelling out the default provider set must not change any
+// bytes, enabling the subtype provider must re-key the hierarchy section
+// alone (the model and extraction sections are evidence-independent),
+// and the fusion weights must be part of that key.
+func TestEvidenceFingerprints(t *testing.T) {
+	def := DefaultConfig().withDefaults().graph(nil).Fingerprints()
+
+	explicit := DefaultConfig()
+	explicit.Evidence = []string{"slm"}
+	explicit.FuseWeights = map[string]float64{"slm": 1}
+	if explicit.withDefaults().graph(nil).Fingerprints() != def {
+		t.Error("spelling out the default evidence configuration changed the snapshot fingerprints")
+	}
+
+	fused := DefaultConfig()
+	fused.Evidence = []string{"slm", "subtype"}
+	ffps := fused.withDefaults().graph(nil).Fingerprints()
+	if ffps[pipeline.SecExtraction] != def[pipeline.SecExtraction] || ffps[pipeline.SecModels] != def[pipeline.SecModels] {
+		t.Error("enabling the subtype provider re-keyed the extraction/models sections; staged reuse lost")
+	}
+	if ffps[pipeline.SecHierarchy] == def[pipeline.SecHierarchy] {
+		t.Error("fused and SLM-only configs share a hierarchy fingerprint; stale edge payloads would cross modes")
+	}
+
+	reweighted := fused
+	reweighted.FuseWeights = map[string]float64{"subtype": 2}
+	rfps := reweighted.withDefaults().graph(nil).Fingerprints()
+	if rfps[pipeline.SecHierarchy] == ffps[pipeline.SecHierarchy] {
+		t.Error("changing a fusion weight did not change the hierarchy fingerprint")
+	}
+	if rfps[pipeline.SecExtraction] != def[pipeline.SecExtraction] || rfps[pipeline.SecModels] != def[pipeline.SecModels] {
+		t.Error("fusion weights leaked into the extraction/models fingerprints")
+	}
+}
+
 // TestGraphLevels pins the section→reuse-level correspondence the driver
 // relies on when skipping restored stages.
 func TestGraphLevels(t *testing.T) {

@@ -17,7 +17,7 @@ import (
 // behavioral marks the stages that exist only for the full (UseSLM)
 // analysis; under StructuralOnly they are reported as disabled.
 var behavioral = map[string]bool{
-	"alphabet": true, "train": true, "hierarchy": true, "multiparents": true,
+	"alphabet": true, "train": true, "evidence": true, "hierarchy": true, "multiparents": true,
 }
 
 // graph builds the pipeline stage graph for this configuration — the §4
@@ -127,9 +127,25 @@ func (c Config) graph(res *Result) *pipeline.Graph {
 			}),
 		},
 		pipeline.Stage{
+			// The evidence stage constructs the scoring backends the
+			// hierarchy stage fuses (internal/evidence): provider choice is
+			// part of the hierarchy section's behavior, so the stage sits in
+			// SecHierarchy, but it carries no canon of its own — the
+			// configuration is fingerprinted by hierarchyCanon, which keeps
+			// the default (SLM-only) configuration's bytes identical to the
+			// pre-provider pipeline and existing snapshots valid.
+			Name:    "evidence",
+			Section: pipeline.SecHierarchy,
+			Inputs:  []pipeline.Artifact{pipeline.ArtVTables, pipeline.ArtTracelets, pipeline.ArtStructural, pipeline.ArtFrozen},
+			Outputs: []pipeline.Artifact{pipeline.ArtEvidence},
+			Run: bind(func(ctx context.Context) error {
+				return res.buildEvidence(ctx, c)
+			}),
+		},
+		pipeline.Stage{
 			Name:    "hierarchy",
 			Section: pipeline.SecHierarchy,
-			Inputs:  []pipeline.Artifact{pipeline.ArtVTables, pipeline.ArtStructural, pipeline.ArtAlphabet, pipeline.ArtFrozen},
+			Inputs:  []pipeline.Artifact{pipeline.ArtVTables, pipeline.ArtStructural, pipeline.ArtAlphabet, pipeline.ArtFrozen, pipeline.ArtEvidence},
 			Outputs: []pipeline.Artifact{pipeline.ArtDist, pipeline.ArtFamilies, pipeline.ArtHierarchy},
 			Canon:   c.hierarchyCanon(),
 			Run: bind(func(ctx context.Context) error {
@@ -161,13 +177,20 @@ func (c Config) graph(res *Result) *pipeline.Graph {
 // written before the sparse sweep existed stay fully reusable under
 // DenseDist; the default sparse mode appends a marker because it changes
 // the persisted payload (Result.Dist holds only admissible pairs) and the
-// root-weight bound. Extraction and model sections are unaffected either
-// way — switching modes invalidates only the hierarchy section.
+// root-weight bound. A non-default evidence configuration (providers
+// beyond the SLM sweep, or a non-unit SLM weight) appends a second
+// marker; the default appends nothing, so pre-provider snapshots keep
+// validating and warm-restoring under SLM-only configurations.
+// Extraction and model sections are unaffected either way — evidence and
+// sweep changes invalidate only the hierarchy section.
 func (c Config) hierarchyCanon() string {
 	canon := fmt.Sprintf("metric=%d rootw=%.17g enumlimit=%d enumeps=%.17g",
 		c.Metric, c.RootWeightFactor, c.EnumLimit, c.EnumEps)
 	if !c.DenseDist {
 		canon += " sweep=sparse"
+	}
+	if !c.evidenceDefault() {
+		canon += " evidence=" + c.evidenceCanon()
 	}
 	return canon
 }
@@ -237,6 +260,11 @@ func AnalyzeContext(ctx context.Context, img *image.Image, cfg Config) (*Result,
 		return nil, fmt.Errorf("core: refusing to analyze a non-stripped image (call Strip first)")
 	}
 	cfg = cfg.withDefaults()
+	if cfg.UseSLM {
+		if err := cfg.validateEvidence(); err != nil {
+			return nil, err
+		}
+	}
 	bus := cfg.Obs
 	if bus != nil {
 		// Only an observed run pays for the context plumbing; the nil-bus

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/image"
+)
+
+// analyzeWith runs one image under the given evidence configuration.
+func analyzeWith(t *testing.T, label string, img *image.Image, workers int, providers []string, weights map[string]float64) *core.Result {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.UseSLM = true
+	cfg.Workers = workers
+	cfg.Evidence = providers
+	cfg.FuseWeights = weights
+	res, err := core.Analyze(img, cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	return res
+}
+
+// assertProviderEquivalence pins the evidence-provider refactor on one
+// image: the default (SLM-only) run must be deep-equal across a serial
+// and a contended worker count, fusing the subtype provider at weight 0
+// must reproduce the pure-SLM result exactly (the fusion layer passes
+// the sole live provider's scores through untouched), and the default
+// fused configuration must itself be deterministic across worker counts.
+func assertProviderEquivalence(t *testing.T, label string, img *image.Image) {
+	t.Helper()
+	slm1 := analyzeWith(t, label+"/slm/w1", img, 1, nil, nil)
+	slm8 := analyzeWith(t, label+"/slm/w8", img, 8, nil, nil)
+	if !reflect.DeepEqual(slm1, slm8) {
+		t.Errorf("%s: SLM-only result differs between workers 1 and 8", label)
+	}
+	zero := analyzeWith(t, label+"/zero", img, 8,
+		[]string{"slm", "subtype"}, map[string]float64{"slm": 1, "subtype": 0})
+	if !reflect.DeepEqual(zero, slm8) {
+		t.Errorf("%s: fusion with weights {slm:1, subtype:0} diverged from pure SLM", label)
+	}
+	fused1 := analyzeWith(t, label+"/fused/w1", img, 1, []string{"slm", "subtype"}, nil)
+	fused8 := analyzeWith(t, label+"/fused/w8", img, 8, []string{"slm", "subtype"}, nil)
+	if !reflect.DeepEqual(fused1, fused8) {
+		t.Errorf("%s: fused result differs between workers 1 and 8", label)
+	}
+}
+
+// TestProviderEquivalenceTable2 pins the refactor across the whole
+// Table 2 suite.
+func TestProviderEquivalenceTable2(t *testing.T) {
+	for _, b := range bench.All() {
+		img, _, err := b.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		assertProviderEquivalence(t, b.Name, img)
+	}
+}
+
+// TestProviderEquivalenceSynth extends the pin to the adversarial corner
+// of the input space: every hostile configuration of the synth grid,
+// where candidate sets are noisiest and the subtype scorer sees the most
+// degenerate vtable structure.
+func TestProviderEquivalenceSynth(t *testing.T) {
+	ran := 0
+	for _, c := range bench.SynthGrid() {
+		if c.Friendly {
+			continue
+		}
+		img, _, err := c.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		assertProviderEquivalence(t, c.Name, img)
+		ran++
+	}
+	if ran < 5 {
+		t.Fatalf("only %d adversarial configs exercised, want >= 5", ran)
+	}
+}

@@ -40,9 +40,11 @@ func TestObserverEquivalence(t *testing.T) {
 			t.Errorf("bench %s: observed Result diverged from the unobserved one", b.Name)
 		}
 
+		// 9 pipeline stages plus the aggregate per-provider attribution row
+		// ("evidence:slm") the hierarchy fan-out emits.
 		rep := observed.Obs.Report()
-		if len(rep.Stages) != 8 {
-			t.Errorf("bench %s: %d stage records, want 8 (the full pipeline)", b.Name, len(rep.Stages))
+		if len(rep.Stages) != 10 {
+			t.Errorf("bench %s: %d stage records, want 10 (the full pipeline + provider rows)", b.Name, len(rep.Stages))
 		}
 		for _, st := range rep.Stages {
 			if st.Status != obs.StageRan || st.Failed {

@@ -97,12 +97,21 @@ func ScoreEdges(gt, pred *hierarchy.Forest, counted []uint64) EdgeScore {
 // AccuracyReport against.
 type Floors struct {
 	Schema string `json:"schema"`
-	// MinF1 maps a grid config name to the minimum acceptable per-edge F1.
+	// MinF1 maps a grid config name to the minimum acceptable per-edge F1
+	// of the SLM-only (paper default) configuration.
 	MinF1 map[string]float64 `json:"min_f1"`
+	// MinF1Fused maps a grid config name to the minimum acceptable
+	// per-edge F1 of the fused slm+subtype configuration (schema v2; nil
+	// in a v1 file, which then gates only the SLM-only half).
+	MinF1Fused map[string]float64 `json:"min_f1_fused,omitempty"`
 }
 
-// FloorsSchema identifies the floors file format.
-const FloorsSchema = "rock-acc-floors/v1"
+// Floors file schemas: v1 carries SLM-only floors, v2 adds the fused
+// configuration's floors. LoadFloors accepts both.
+const (
+	FloorsSchema   = "rock-acc-floors/v1"
+	FloorsSchemaV2 = "rock-acc-floors/v2"
+)
 
 // LoadFloors reads a floors file from disk.
 func LoadFloors(path string) (*Floors, error) {
@@ -114,8 +123,8 @@ func LoadFloors(path string) (*Floors, error) {
 	if err := json.Unmarshal(data, &f); err != nil {
 		return nil, fmt.Errorf("floors %s: %w", path, err)
 	}
-	if f.Schema != FloorsSchema {
-		return nil, fmt.Errorf("floors %s: schema %q, want %q", path, f.Schema, FloorsSchema)
+	if f.Schema != FloorsSchema && f.Schema != FloorsSchemaV2 {
+		return nil, fmt.Errorf("floors %s: schema %q, want %q or %q", path, f.Schema, FloorsSchema, FloorsSchemaV2)
 	}
 	return &f, nil
 }
@@ -146,4 +155,47 @@ func CheckFloors(rep *AccuracyReport, floors *Floors) error {
 	}
 	sort.Strings(problems)
 	return fmt.Errorf("accuracy floor check failed:\n  %s", strings.Join(problems, "\n  "))
+}
+
+// CheckFusionFloors gates both halves of a fusion report against a v2
+// floors file: the SLM-only scores against MinF1 and the fused scores
+// against MinF1Fused. A regression in either half — or a fused config
+// with no fused floor — is an error.
+func CheckFusionFloors(rep *FusionReport, floors *Floors) error {
+	slmHalf := &AccuracyReport{Schema: AccSchema}
+	for _, row := range rep.Configs {
+		slmHalf.Configs = append(slmHalf.Configs, &SynthRow{
+			Name: row.Name, Shape: row.Shape, Mode: row.Mode,
+			Friendly: row.Friendly, Types: row.Types, Edge: row.SLM,
+		})
+	}
+	slmErr := CheckFloors(slmHalf, floors)
+
+	var problems []string
+	for _, row := range rep.Configs {
+		floor, ok := floors.MinF1Fused[row.Name]
+		if !ok {
+			problems = append(problems,
+				fmt.Sprintf("config %s (shape %s, mode %s) has no checked-in fused accuracy floor",
+					row.Name, row.Shape, row.Mode))
+			continue
+		}
+		if row.Fused.F1 < floor {
+			problems = append(problems,
+				fmt.Sprintf("config %s (shape %s, mode %s) regressed: fused per-edge F1 %.4f below floor %.4f",
+					row.Name, row.Shape, row.Mode, row.Fused.F1, floor))
+		}
+	}
+	if slmErr == nil && len(problems) == 0 {
+		return nil
+	}
+	sort.Strings(problems)
+	msg := strings.Join(problems, "\n  ")
+	if slmErr != nil {
+		if msg != "" {
+			return fmt.Errorf("%w\n  %s", slmErr, msg)
+		}
+		return slmErr
+	}
+	return fmt.Errorf("fused accuracy floor check failed:\n  %s", msg)
 }

@@ -117,7 +117,7 @@ func TestLoadFloors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if f.Schema != FloorsSchema || len(f.MinF1) == 0 {
+	if f.Schema != FloorsSchemaV2 || len(f.MinF1) == 0 || len(f.MinF1Fused) == 0 {
 		t.Fatalf("bad floors: %+v", f)
 	}
 }

@@ -1,0 +1,139 @@
+// Package slmkl rehosts the paper's behavioral evidence source — the
+// per-family SLM divergence sweep (§4.3) — behind the evidence.Provider
+// interface. It is a verbatim transplant of the original in-line sweep:
+// the same chunk grains, the same pair layout, the same frozen flat-trie
+// kernels, the same counters — so its output is bit-identical to the
+// pre-provider pipeline and the equivalence pins in internal/eval hold
+// by construction, not by tolerance.
+package slmkl
+
+import (
+	"context"
+
+	"repro/internal/evidence"
+	"repro/internal/obs"
+	"repro/internal/pool"
+	"repro/internal/slm"
+)
+
+// Fan-out grains for the chunked sweeps (pool.ForEachChunk): each claimed
+// range must amortize the shared index counter over enough work without
+// starving workers on small families. The values predate the provider
+// split; grain choice never affects scores (every slot is index-owned).
+const (
+	// modelGrain groups word-distribution derivations; a claimed range is
+	// also the batch the multi-model scoring kernel blocks over
+	// (slm.DistanceCalculator.PrecomputeBatch).
+	modelGrain = 8
+	// pairGrain groups admissible-pair divergence reductions.
+	pairGrain = 32
+	// cellGrain groups dense-matrix cells (the Dense reporting mode;
+	// diagonal cells are nearly free, so ranges are larger).
+	cellGrain = 256
+)
+
+// Config parameterizes the sweep. Metric and RootWeightFactor are
+// behavioral (they appear in the hierarchy canon); the rest only shape
+// execution.
+type Config struct {
+	// Metric selects the pairwise distance (DKL by default; JS variants
+	// for the §6.4 ablation).
+	Metric slm.Metric
+	// RootWeightFactor scales the virtual-root weight relative to the
+	// family's largest pairwise distance (Heuristic 4.1); must exceed 1.
+	RootWeightFactor float64
+	// Dense computes the full n×n ordered-pair matrix (Scores.Dense) with
+	// the root weight from the exact dense maximum, instead of the sparse
+	// admissible-pair sweep with the PairBound upper bound. Entries
+	// present in both modes are bit-identical.
+	Dense bool
+	// Workers/Pool bound and share the fan-out (see core.Config).
+	Workers int
+	Pool    *pool.Shared
+	// Scratch supplies reusable per-goroutine query scratch; nil uses the
+	// process-wide default pool.
+	Scratch *slm.ScratchPool
+	// Obs, when non-nil, receives the sweep's pair counters and batch
+	// spans. Results are unaffected.
+	Obs *obs.Bus
+}
+
+// Provider is the SLM/KL evidence provider.
+type Provider struct {
+	cfg Config
+}
+
+// New returns the provider.
+func New(cfg Config) *Provider { return &Provider{cfg: cfg} }
+
+// Name implements evidence.Provider.
+func (p *Provider) Name() string { return evidence.NameSLM }
+
+// Score runs the divergence sweep for one family. Each member's word
+// distribution over the family's shared word set is derived exactly once
+// (the DistanceCalculator memoizes per model, each chunk scored by the
+// blocked multi-model batch kernel); then the sweep reduces the cached
+// distributions over in.Pairs — or over all n² ordered cells under
+// cfg.Dense — in deterministically-owned chunks.
+func (p *Provider) Score(ctx context.Context, in *evidence.FamilyInput) (*evidence.Scores, error) {
+	cfg := p.cfg
+	calc := slm.NewDistanceCalculator(cfg.Metric, in.Words)
+	calc.SetScratchPool(cfg.Scratch)
+	calc.SetObserver(cfg.Obs)
+	n := len(in.Types)
+	calc.Reserve(n)
+	if err := pool.ForEachChunk(ctx, cfg.Pool, cfg.Workers, n, modelGrain, func(lo, hi int) {
+		calc.PrecomputeBatch(in.Scorers[lo:hi])
+	}); err != nil {
+		return nil, err
+	}
+	out := &evidence.Scores{}
+	if cfg.Dense {
+		fam := in.Types
+		dists := make([]float64, n*n)
+		if err := pool.ForEachChunk(ctx, cfg.Pool, cfg.Workers, n*n, cellGrain, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				a, b := fam[k/n], fam[k%n]
+				if a == b {
+					continue
+				}
+				dists[k] = calc.Distance(in.Scorer(a), in.Scorer(b))
+			}
+		}); err != nil {
+			return nil, err
+		}
+		cfg.Obs.Add(obs.CntDistPairs, int64(n*(n-1)))
+		out.Dense = make(map[[2]uint64]float64, n*(n-1))
+		maxD := 0.0
+		for k, d := range dists {
+			a, b := fam[k/n], fam[k%n]
+			if a == b {
+				continue
+			}
+			out.Dense[[2]uint64{a, b}] = d
+			if d > maxD {
+				maxD = d
+			}
+		}
+		out.Edge = make([]float64, len(in.Pairs))
+		for k, pc := range in.Pairs {
+			out.Edge[k] = out.Dense[pc]
+		}
+		out.Root = maxD*cfg.RootWeightFactor + 1
+		return out, nil
+	}
+	out.Edge = make([]float64, len(in.Pairs))
+	if err := pool.ForEachChunk(ctx, cfg.Pool, cfg.Workers, len(in.Pairs), pairGrain, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			out.Edge[k] = calc.Distance(in.Scorer(in.Pairs[k][0]), in.Scorer(in.Pairs[k][1]))
+		}
+	}); err != nil {
+		return nil, err
+	}
+	cfg.Obs.Add(obs.CntDistPairs, int64(len(in.Pairs)))
+	cfg.Obs.Add(obs.CntDistPairsPruned, int64(n*(n-1)-len(in.Pairs)))
+	// PairBound ≥ the true dense maximum, so Heuristic 4.1's "root edges
+	// are always the worst choice" ordering survives the sparse sweep.
+	out.Root = calc.PairBound(in.Scorers)*cfg.RootWeightFactor + 1
+	return out, nil
+}

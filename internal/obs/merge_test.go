@@ -141,3 +141,48 @@ func TestReportMerge(t *testing.T) {
 		t.Fatalf("counters aggregate wrong: %v", agg.Counters)
 	}
 }
+
+// TestReportMergeProviderStages pins the multi-provider attribution rows:
+// caller-built evidence:NAME records (StageRecord) from several analyses
+// merge per provider — Count accumulates the per-run family totals, wall
+// and allocation columns sum — and never collapse into each other or
+// into the pipeline's own stage rows.
+func TestReportMergeProviderStages(t *testing.T) {
+	runA := &Report{Stages: []StageStats{
+		{Name: "hierarchy", Section: "hierarchy", Status: StageRan, Wall: time.Millisecond},
+		{Name: "evidence:slm", Section: "hierarchy", Status: StageRan, Wall: 2 * time.Millisecond, AllocBytes: 10, Count: 3},
+		{Name: "evidence:subtype", Section: "hierarchy", Status: StageRan, Wall: time.Millisecond, AllocBytes: 4, Count: 3},
+	}}
+	runB := &Report{Stages: []StageStats{
+		{Name: "hierarchy", Section: "hierarchy", Status: StageRan, Wall: time.Millisecond},
+		{Name: "evidence:slm", Section: "hierarchy", Status: StageRan, Wall: 3 * time.Millisecond, AllocBytes: 20, Count: 5},
+		{Name: "evidence:subtype", Section: "hierarchy", Status: StageRan, Wall: time.Millisecond, AllocBytes: 6, Count: 5},
+	}}
+	agg := &Report{}
+	agg.Merge(runA)
+	agg.Merge(runB)
+
+	if len(agg.Stages) != 3 {
+		t.Fatalf("got %d aggregate rows, want hierarchy + one per provider: %+v", len(agg.Stages), agg.Stages)
+	}
+	find := func(name string) *StageStats {
+		for i := range agg.Stages {
+			if agg.Stages[i].Name == name {
+				return &agg.Stages[i]
+			}
+		}
+		t.Fatalf("row %q missing from aggregate", name)
+		return nil
+	}
+	slm := find("evidence:slm")
+	if slm.Count != 8 || slm.Wall != 5*time.Millisecond || slm.AllocBytes != 30 {
+		t.Fatalf("evidence:slm aggregate wrong: %+v", *slm)
+	}
+	st := find("evidence:subtype")
+	if st.Count != 8 || st.Wall != 2*time.Millisecond || st.AllocBytes != 10 {
+		t.Fatalf("evidence:subtype aggregate wrong: %+v", *st)
+	}
+	if hier := find("hierarchy"); hier.Count != 2 {
+		t.Fatalf("hierarchy row should count both runs: %+v", *hier)
+	}
+}

@@ -85,6 +85,12 @@ const (
 	// CntFamiliesResolved counts families re-solved on the incremental
 	// lane (the rest restored verbatim from the prior snapshot).
 	CntFamiliesResolved
+	// CntEvidenceProviders counts the evidence providers constructed for
+	// the run (1 for the default SLM-only configuration).
+	CntEvidenceProviders
+	// CntEvidenceEdges counts candidate-edge scores produced across all
+	// evidence providers (provider count × admissible pairs).
+	CntEvidenceEdges
 
 	numCounters
 )
@@ -96,6 +102,7 @@ var counterNames = [numCounters]string{
 	"dist_pairs_pruned", "dist_memo_hits", "dist_memo_misses", "co_optimal", "arbs_kept",
 	"multi_parents", "pool_helpers",
 	"fn_digest_hit", "fn_digest_miss", "types_retrained", "families_resolved",
+	"evidence_providers", "evidence_edges_scored",
 }
 
 // String returns the counter's report name.
@@ -216,6 +223,15 @@ func (b *Bus) SetSnapshotReuse(level int) {
 	b.reuse.Store(int64(level))
 }
 
+// AllocSample reads the cumulative heap allocation gauges — the same
+// process-wide estimate StageStart/End bracket a stage with. Callers
+// that account sub-stage work (e.g. per-provider attribution inside the
+// hierarchy fan-out) sample around their region and feed the deltas to
+// StageRecord.
+func AllocSample() (bytes, objects uint64) {
+	return allocSample()
+}
+
 // allocSample reads the cumulative heap allocation gauges.
 func allocSample() (bytes, objects uint64) {
 	s := [2]metrics.Sample{
@@ -273,6 +289,21 @@ func (h StageHandle) End(err error) {
 	h.b.mu.Lock()
 	h.b.stages = append(h.b.stages, st)
 	h.b.mu.Unlock()
+}
+
+// StageRecord appends a caller-built stage record verbatim. It is the
+// escape hatch for sub-stage attribution that StageStart/End cannot
+// bracket — e.g. one aggregate row per evidence provider, accumulated
+// across the concurrent per-family hierarchy fan-out — where the caller
+// owns the wall/alloc accounting (and may pre-set Count, which Merge
+// then treats as an aggregate of that many occurrences). Nil-safe.
+func (b *Bus) StageRecord(st StageStats) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.stages = append(b.stages, st)
+	b.mu.Unlock()
 }
 
 // StageSkipped records a stage that did not execute, attributing why:

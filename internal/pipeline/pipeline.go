@@ -57,6 +57,9 @@ const (
 	ArtModels Artifact = "models"
 	// ArtFrozen is the frozen flat-trie SLM forms.
 	ArtFrozen Artifact = "frozen"
+	// ArtEvidence is the constructed evidence-provider set (the scoring
+	// backends the hierarchy stage fuses).
+	ArtEvidence Artifact = "evidence"
 	// ArtDist is the pairwise divergence map.
 	ArtDist Artifact = "dist"
 	// ArtFamilies is the per-family arborescence outcomes.

@@ -112,7 +112,7 @@ type Server struct {
 	flightWG sync.WaitGroup
 
 	// Counters (see Metrics for semantics).
-	submissions, hotHits, coalesced         atomic.Int64
+	submissions, hotHits, coalesced          atomic.Int64
 	analysesCold, analysesWarm, analysesIncr atomic.Int64
 	analysisErrors, canceledFlights          atomic.Int64
 

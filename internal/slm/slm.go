@@ -15,7 +15,10 @@
 //
 // The package also provides the Kullback–Leibler divergence between two
 // models over a word set (§4.2.1) and the JS-divergence/JS-distance
-// variants the paper evaluates and rejects ("Other Metrics", §6.4).
+// variants the paper evaluates and rejects ("Other Metrics", §6.4). The
+// per-family divergence sweep that turns these metrics into hierarchy
+// edge scores lives behind the evidence-provider abstraction
+// (internal/evidence/slmkl); this package stays metric-only.
 package slm
 
 import (

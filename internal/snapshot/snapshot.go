@@ -19,8 +19,9 @@
 //	model FP       pipeline.SecModels — SLM config (depth) guarding the
 //	               frozen-models section
 //	hier FP        pipeline.SecHierarchy — back-end config (metric, root
-//	               weight, enumeration bounds) guarding the hierarchy
-//	               section
+//	               weight, enumeration bounds, plus the evidence-provider
+//	               configuration whenever it differs from the SLM-only
+//	               default) guarding the hierarchy section
 //
 // The sections form a strict dependency chain (models are trained on the
 // extraction, the hierarchy is solved over the models), so a snapshot is

@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/evidence"
 	"repro/internal/image"
 	"repro/internal/objtrace"
 	"repro/internal/obs"
@@ -101,6 +102,17 @@ type Options struct {
 	// prior of the same image name in the cache directory. The Report is
 	// identical to a cold run either way.
 	IncrementalFrom string
+	// Evidence selects the edge-evidence providers whose scores are fused
+	// into the hierarchy solve, as a comma-separated list: "slm" (the
+	// paper's behavioral divergence sweep), "subtype" (the
+	// constraint-based structural subtyping scorer), or "slm,subtype".
+	// Empty selects the default SLM-only configuration.
+	Evidence string
+	// FuseWeights overrides per-provider fusion weights as a
+	// comma-separated "name=weight" list, e.g. "slm=1,subtype=5".
+	// Providers absent from the list keep their defaults. Empty keeps
+	// every default.
+	FuseWeights string
 	// Observer, when non-nil, records the analysis on an observability bus;
 	// the collected Stats land in Report.Stats. Attach a Trace to the
 	// Observer to additionally capture chrome-tracing spans. Observation
@@ -207,6 +219,12 @@ func config(opts Options) (core.Config, error) {
 	}
 	cfg.Invalidate = inv
 	cfg.IncrementalFrom = opts.IncrementalFrom
+	if cfg.Evidence, err = evidence.ParseNames(opts.Evidence); err != nil {
+		return cfg, fmt.Errorf("rock: %w", err)
+	}
+	if cfg.FuseWeights, err = evidence.ParseWeights(opts.FuseWeights); err != nil {
+		return cfg, fmt.Errorf("rock: %w", err)
+	}
 	cfg.Obs = opts.Observer
 	return cfg, nil
 }
